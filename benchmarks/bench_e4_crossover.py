@@ -1,0 +1,76 @@
+"""R-E4 (analysis): prefix-tree vs linear-scan crossover.
+
+Measures the maximality-checking operation in isolation at two
+traversed-set sizes — one left of the crossover (linear wins) and one
+right of it (trie wins).  Full sweep with the crossover location:
+``python -m repro experiments --run R-E4``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.prefixtree import PrefixTree
+
+BITS = 96
+N_QUERIES = 500
+
+
+def _family(rng: random.Random, n: int) -> list[int]:
+    base = [rng.getrandbits(BITS) | 1 for _ in range(24)]
+    out = []
+    for _ in range(n):
+        m = base[rng.randrange(len(base))]
+        for _ in range(4):
+            m ^= 1 << rng.randrange(BITS)
+        out.append(m)
+    return out
+
+
+def _queries(rng: random.Random) -> list[int]:
+    return [
+        rng.getrandbits(BITS) & rng.getrandbits(BITS) & rng.getrandbits(BITS)
+        for _ in range(N_QUERIES)
+    ]
+
+
+@pytest.mark.parametrize("size", (200, 8000))
+def bench_linear_scan_checks(benchmark, size):
+    rng = random.Random(7)
+    stored = _family(rng, size)
+    queries = _queries(rng)
+
+    def scan():
+        hits = 0
+        for q in queries:
+            for m in stored:
+                if m & q == q:
+                    hits += 1
+                    break
+        return hits
+
+    benchmark(scan)
+    benchmark.extra_info["stored"] = size
+
+
+@pytest.mark.parametrize("size", (200, 8000))
+def bench_trie_checks(benchmark, size):
+    rng = random.Random(7)
+    stored = _family(rng, size)
+    queries = _queries(rng)
+    tree = PrefixTree()
+    for m in stored:
+        tree.insert(m)
+
+    def descend():
+        return sum(tree.has_superset(q) for q in queries)
+
+    hits = benchmark(descend)
+    # answers must agree with the scan
+    expected = sum(
+        1 for q in queries if any(m & q == q for m in stored)
+    )
+    assert hits == expected
+    benchmark.extra_info["stored"] = size

@@ -1,0 +1,34 @@
+"""R-F1: overall runtime comparison of all serial algorithms.
+
+CI-scale slice of the figure: three representative datasets (small, hubby,
+biclique-rich) x every serial algorithm.  The slow quadratic baselines are
+restricted to the smallest dataset so the suite stays minutes-scale; the
+full matrix (all 12 general datasets, 180 s budget per run) is produced by
+``python -m repro experiments --run R-F1``.
+
+Expected shape, asserted via counts and visible in the timings: every
+algorithm returns the same count per dataset, and mbet/mbetm lead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets, run_mbe
+
+FAST_ALGOS = ("imbea", "pmbe", "oombea", "mbet", "mbetm")
+ALL_ALGOS = ("naive", "mbea") + FAST_ALGOS
+
+CASES = [("mti", ALL_ALGOS), ("yg", FAST_ALGOS), ("ee", ("oombea", "mbet", "mbetm"))]
+
+PARAMS = [(key, algo) for key, algos in CASES for algo in algos]
+
+
+@pytest.mark.parametrize("key,algo", PARAMS, ids=[f"{k}-{a}" for k, a in PARAMS])
+def bench_overall(benchmark, run_once, key, algo):
+    graph = datasets.load(key)
+    result = run_once(run_mbe, graph, algo, collect=False)
+    assert result.count == datasets.spec(key).approx_bicliques
+    benchmark.extra_info["bicliques"] = result.count
+    benchmark.extra_info["nodes"] = result.stats.nodes
+    benchmark.extra_info["non_maximal"] = result.stats.non_maximal

@@ -1,0 +1,28 @@
+"""R-F2: scalability in |E| (edge-subsampled dataset).
+
+Times mbet and one baseline on 25/50/75/100% edge subsamples of the yg
+stand-in.  Expected shape: super-linear growth for both, with the gap
+widening at full scale.  Full sweep: ``python -m repro experiments --run R-F2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets, run_mbe, subsample_edges
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+ALGOS = ("imbea", "mbet")
+
+PARAMS = [(f, a) for f in FRACTIONS for a in ALGOS]
+
+
+@pytest.mark.parametrize(
+    "fraction,algo", PARAMS, ids=[f"{int(f*100)}pct-{a}" for f, a in PARAMS]
+)
+def bench_scale_edges(benchmark, run_once, fraction, algo):
+    graph = subsample_edges(datasets.load("yg"), fraction, seed=99)
+    result = run_once(run_mbe, graph, algo, collect=False)
+    benchmark.extra_info["edges"] = graph.n_edges
+    benchmark.extra_info["bicliques"] = result.count
+    assert result.complete

@@ -1,0 +1,30 @@
+"""R-F3: scalability in biclique density (planted-block sweep).
+
+The same 600x300 vertex set with an increasing number of planted blocks —
+the biclique count grows with overlap while |V| stays fixed.  Expected
+shape: mbet's time grows roughly linearly with the output count; the
+baseline grows faster.  Full sweep: ``python -m repro experiments --run R-F3``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import planted_bicliques, run_mbe
+
+BLOCKS = (100, 200, 400)
+ALGOS = ("imbea", "mbet")
+
+PARAMS = [(b, a) for b in BLOCKS for a in ALGOS]
+
+
+@pytest.mark.parametrize(
+    "blocks,algo", PARAMS, ids=[f"{b}blocks-{a}" for b, a in PARAMS]
+)
+def bench_scale_density(benchmark, run_once, blocks, algo):
+    graph = planted_bicliques(
+        600, 300, blocks, (2, 6), (2, 6), noise_edges=600, seed=7
+    )
+    result = run_once(run_mbe, graph, algo, collect=False)
+    benchmark.extra_info["bicliques"] = result.count
+    assert result.complete

@@ -1,0 +1,29 @@
+"""R-F6: ablation of MBET's techniques.
+
+One benchmark per disabled technique on the yg stand-in.  Expected shape:
+full mbet is the fastest column; w/o-trie pays on deep traversed sets,
+w/o-merge on repeated signatures, w/o-sort on branch ordering.
+Full table: ``python -m repro experiments --run R-F6``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets, run_mbe
+
+VARIANTS = [
+    ("full", {}),
+    ("no-trie", {"use_trie": False}),
+    ("no-merge", {"use_merge": False}),
+    ("no-sort", {"use_sort": False}),
+]
+
+
+@pytest.mark.parametrize("label,flags", VARIANTS, ids=[v[0] for v in VARIANTS])
+def bench_ablation(benchmark, run_once, label, flags):
+    graph = datasets.load("yg")
+    result = run_once(run_mbe, graph, "mbet", collect=False, **flags)
+    assert result.count == datasets.spec("yg").approx_bicliques
+    benchmark.extra_info["nodes"] = result.stats.nodes
+    benchmark.extra_info["non_maximal"] = result.stats.non_maximal

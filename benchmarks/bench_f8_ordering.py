@@ -1,0 +1,24 @@
+"""R-F8: vertex-ordering sensitivity for MBET.
+
+One benchmark per ordering strategy on the mti stand-in.  Expected shape:
+the ascending-degree family wins; descending degree roots the largest
+subtrees first and weakens first-level containment pruning.
+Full table: ``python -m repro experiments --run R-F8``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets, run_mbe
+
+ORDERS = ("degree", "degree_desc", "unilateral", "two_hop", "natural", "random")
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def bench_ordering(benchmark, run_once, order):
+    graph = datasets.load("mti")
+    result = run_once(run_mbe, graph, "mbet", collect=False, order=order)
+    assert result.count == datasets.spec("mti").approx_bicliques
+    benchmark.extra_info["subtrees"] = result.stats.subtrees
+    benchmark.extra_info["nodes"] = result.stats.nodes

@@ -1,0 +1,32 @@
+"""R-F9: parallel driver overhead and scaling.
+
+Hardware caveat (recorded with the experiment): this container exposes one
+CPU core, so multi-worker timings measure the scheduling machinery (task
+splitting, process pool, result aggregation), not parallel speedup.  The
+counts assert the machinery is exact.
+Full run: ``python -m repro experiments --run R-F9``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets, run_mbe
+
+CONFIGS = [
+    ("serial-mbet", {"algorithm": "mbet"}),
+    ("workers-1", {"algorithm": "parallel", "workers": 1}),
+    ("workers-2", {"algorithm": "parallel", "workers": 2}),
+    ("workers-2-split", {"algorithm": "parallel", "workers": 2,
+                         "bound_height": 4, "bound_size": 64}),
+]
+
+
+@pytest.mark.parametrize("label,opts", CONFIGS, ids=[c[0] for c in CONFIGS])
+def bench_parallel(benchmark, run_once, label, opts):
+    graph = datasets.load("mti")
+    opts = dict(opts)
+    algorithm = opts.pop("algorithm")
+    result = run_once(run_mbe, graph, algorithm, collect=False, **opts)
+    assert result.count == datasets.spec("mti").approx_bicliques
+    benchmark.extra_info["tasks"] = result.meta.get("tasks", 0)

@@ -1,0 +1,30 @@
+"""R-T1: dataset statistics table.
+
+Benchmarks the statistics computation per zoo dataset and attaches the full
+table row (what the literature's Table 1 prints) as ``extra_info``.
+Full-scale counterpart: ``python -m repro experiments --run R-T1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compute_stats, datasets
+
+SMALL = ("mti", "wa", "yg", "ee")
+
+
+@pytest.mark.parametrize("key", SMALL)
+def bench_dataset_stats(benchmark, run_once, key):
+    graph = datasets.load(key)
+    stats = run_once(compute_stats, graph)
+    benchmark.extra_info.update(stats.as_row())
+    benchmark.extra_info["max_bicliques"] = datasets.spec(key).approx_bicliques
+    assert stats.n_edges == graph.n_edges
+
+
+def bench_dataset_generation(benchmark, run_once):
+    # Generation cost of one mid-size stand-in (uncached build).
+    spec = datasets.spec("yg")
+    graph = run_once(spec.build)
+    assert graph.n_edges > 0

@@ -1,0 +1,35 @@
+"""R-T2: node-checking effectiveness (δ/α ratios).
+
+Runs mbea and mbet on representative datasets; the δ/α ratio (non-maximal
+nodes generated per maximal biclique) lands in ``extra_info``.  Expected
+shape: mbet's ratio is a fraction of mbea's on every dataset.
+Full table: ``python -m repro experiments --run R-T2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import datasets, run_mbe
+
+KEYS = ("mti", "yg")
+
+
+@pytest.mark.parametrize("key", KEYS)
+def bench_pruning_ratio(benchmark, run_once, key):
+    graph = datasets.load(key)
+
+    def both():
+        base = run_mbe(graph, "mbea", collect=False)
+        tree = run_mbe(graph, "mbet", collect=False)
+        return base, tree
+
+    base, tree = run_once(both)
+    alpha = tree.count
+    ratio_base = base.stats.non_maximal / alpha
+    ratio_tree = tree.stats.non_maximal / alpha
+    benchmark.extra_info["delta_alpha_mbea"] = round(ratio_base, 3)
+    benchmark.extra_info["delta_alpha_mbet"] = round(ratio_tree, 3)
+    benchmark.extra_info["merged_candidates"] = tree.stats.merged_candidates
+    # the headline claim of the prefix-tree approach:
+    assert ratio_tree < ratio_base

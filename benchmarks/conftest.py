@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one reconstructed table/figure of the
+evaluation (ids in DESIGN.md §4) at a CI-friendly scale; the full-scale
+tables in EXPERIMENTS.md come from ``python -m repro experiments``.
+Benchmarks run each enumeration once (``pedantic(rounds=1)``) — the runs
+are seconds-scale and deterministic, so statistical repetition would only
+multiply wall-clock time.
+
+Results carry ``extra_info`` (biclique counts, stats counters) so a
+benchmark JSON export doubles as the experiment's data series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

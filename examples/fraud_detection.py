@@ -1,0 +1,107 @@
+"""Fraud-group detection in an e-commerce purchase network.
+
+Run with:  python examples/fraud_detection.py
+
+The motivating application of the MBE literature: sellers inflate their
+ratings by paying groups of customers to buy fixed bundles of products
+together.  In the purchase bipartite graph those rings appear as large
+bicliques — organic shoppers rarely coordinate that tightly — so
+enumerating maximal bicliques and thresholding their size surfaces the
+rings directly.
+
+This example plants fraud rings inside a realistic power-law purchase
+graph, detects suspicious groups with MBET, and scores detection quality
+against the planted ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GraphBuilder, run_mbe
+
+N_CUSTOMERS = 1200
+N_PRODUCTS = 400
+ORGANIC_PURCHASES = 4000
+N_RINGS = 6
+RING_CUSTOMERS = (4, 7)  # ring size range (inclusive)
+RING_PRODUCTS = (4, 6)
+MIN_GROUP = 4  # flag groups of >= 4 customers x >= 4 products
+SEED = 2024
+
+
+def build_market(rng: np.random.Generator):
+    """Return (graph, planted_rings) for a market with hidden fraud."""
+    builder = GraphBuilder()
+
+    # Organic traffic: power-law popularity on both sides.
+    cust_w = (np.arange(1, N_CUSTOMERS + 1) ** -0.8).astype(float)
+    prod_w = (np.arange(1, N_PRODUCTS + 1) ** -0.8).astype(float)
+    cust_w /= cust_w.sum()
+    prod_w /= prod_w.sum()
+    for u, v in zip(
+        rng.choice(N_CUSTOMERS, ORGANIC_PURCHASES, p=cust_w),
+        rng.choice(N_PRODUCTS, ORGANIC_PURCHASES, p=prod_w),
+    ):
+        builder.add_edge(int(u), int(v))
+
+    # Planted rings: a hired group buys a fixed product bundle together.
+    rings = []
+    for _ in range(N_RINGS):
+        k_c = int(rng.integers(RING_CUSTOMERS[0], RING_CUSTOMERS[1] + 1))
+        k_p = int(rng.integers(RING_PRODUCTS[0], RING_PRODUCTS[1] + 1))
+        customers = rng.choice(N_CUSTOMERS, k_c, replace=False)
+        products = rng.choice(N_PRODUCTS, k_p, replace=False)
+        builder.add_biclique(
+            (int(c) for c in customers), (int(p) for p in products)
+        )
+        rings.append((frozenset(map(int, customers)), frozenset(map(int, products))))
+    return builder.build(n_u=N_CUSTOMERS, n_v=N_PRODUCTS), rings
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    graph, rings = build_market(rng)
+    print(f"purchase network: {graph}")
+    print(f"planted fraud rings: {len(rings)}")
+
+    result = run_mbe(graph, algorithm="mbet")
+    print(f"\nenumerated {result.count:,} maximal bicliques "
+          f"in {result.elapsed:.3f}s")
+
+    suspicious = [
+        b for b in result.bicliques
+        if len(b.left) >= MIN_GROUP and len(b.right) >= MIN_GROUP
+    ]
+    suspicious.sort(key=lambda b: -b.n_edges)
+    print(f"suspicious groups (>= {MIN_GROUP} customers x "
+          f">= {MIN_GROUP} products): {len(suspicious)}")
+
+    detected = 0
+    for customers, products in rings:
+        hit = any(
+            customers <= set(b.left) and products <= set(b.right)
+            for b in suspicious
+        )
+        detected += hit
+        status = "DETECTED" if hit else "missed"
+        print(f"  ring {sorted(customers)[:3]}...x{len(products)} "
+              f"products: {status}")
+    precision_pool = sum(
+        1 for b in suspicious
+        if any(c <= set(b.left) and p <= set(b.right) for c, p in rings)
+    )
+    print(f"\nrecall:    {detected}/{len(rings)} rings found")
+    if suspicious:
+        print(f"precision: {precision_pool}/{len(suspicious)} flagged groups "
+              "contain a planted ring")
+    assert detected == len(rings), "every planted ring must surface"
+
+    print("\ntop flagged groups:")
+    for b in suspicious[:5]:
+        print(f"  {len(b.left)} customers x {len(b.right)} products "
+              f"({b.n_edges} purchases)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Biclustering a binary gene-expression matrix with maximal bicliques.
+
+Run with:  python examples/gene_expression.py
+
+A classic bioinformatics use of MBE (Zhang et al., BMC Bioinformatics
+2014): binarize an expression matrix (gene g is "expressed" in condition c
+or not), view it as a bipartite graph, and read every maximal biclique as
+an inclusion-maximal bicluster — a set of genes co-expressed across a set
+of conditions.  Maximality matters: the biclusters cannot be extended by
+any gene or condition, so they form the complete, non-redundant catalogue
+of perfect modules in the binarized data.
+
+This example plants co-expression modules in a noisy matrix, recovers them
+as bicliques, and ranks biclusters by area.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BipartiteGraph, run_mbe
+
+N_GENES = 300
+N_CONDITIONS = 40
+MODULES = [  # (genes, conditions) per planted module
+    (20, 8),
+    (15, 10),
+    (12, 6),
+    (8, 12),
+]
+BACKGROUND_RATE = 0.03  # random expression noise
+DROPOUT = 0.0  # planted entries removed (0 = clean modules)
+SEED = 7
+
+
+def build_matrix(rng: np.random.Generator) -> tuple[np.ndarray, list]:
+    matrix = rng.random((N_GENES, N_CONDITIONS)) < BACKGROUND_RATE
+    modules = []
+    for genes, conditions in MODULES:
+        gs = rng.choice(N_GENES, genes, replace=False)
+        cs = rng.choice(N_CONDITIONS, conditions, replace=False)
+        for g in gs:
+            for c in cs:
+                if rng.random() >= DROPOUT:
+                    matrix[g, c] = True
+        modules.append((set(map(int, gs)), set(map(int, cs))))
+    return matrix, modules
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    matrix, modules = build_matrix(rng)
+    genes, conditions = np.nonzero(matrix)
+    graph = BipartiteGraph(
+        list(zip(map(int, genes), map(int, conditions))),
+        n_u=N_GENES,
+        n_v=N_CONDITIONS,
+    )
+    print(f"expression matrix: {N_GENES} genes x {N_CONDITIONS} conditions, "
+          f"{graph.n_edges} expressed entries")
+
+    result = run_mbe(graph, algorithm="mbet")
+    print(f"maximal biclusters: {result.count:,} "
+          f"(enumerated in {result.elapsed:.3f}s)")
+
+    # Rank biclusters by covered matrix area; the planted modules dominate.
+    ranked = sorted(result.bicliques, key=lambda b: -b.n_edges)
+    print("\nlargest biclusters (genes x conditions = area):")
+    for b in ranked[:6]:
+        print(f"  {len(b.left):3d} x {len(b.right):2d} = {b.n_edges}")
+
+    print("\nplanted module recovery:")
+    recovered = 0
+    for gs, cs in modules:
+        best = max(
+            (b for b in ranked),
+            key=lambda b: len(gs & set(b.left)) * len(cs & set(b.right)),
+        )
+        gene_cov = len(gs & set(best.left)) / len(gs)
+        cond_cov = len(cs & set(best.right)) / len(cs)
+        ok = gene_cov == 1.0 and cond_cov == 1.0
+        recovered += ok
+        print(f"  module {len(gs)}x{len(cs)}: gene coverage "
+              f"{gene_cov:.0%}, condition coverage {cond_cov:.0%}"
+              f"{'  (fully recovered)' if ok else ''}")
+    assert recovered == len(modules), "clean modules must be fully recovered"
+
+    # Because modules are planted without dropout, each appears inside one
+    # maximal bicluster covering it entirely — that's the maximality
+    # guarantee doing the work.
+    print(f"\nall {len(modules)} planted modules recovered exactly")
+
+
+if __name__ == "__main__":
+    main()

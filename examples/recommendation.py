@@ -1,0 +1,113 @@
+"""Cohort-based recommendation from maximal bicliques.
+
+Run with:  python examples/recommendation.py
+
+Social-recommendation reading of MBE: a maximal biclique (L, R) in a
+user x item graph is a *cohort* — a maximal group of users who all like
+the same maximal item set.  A biclique containing the target user u can,
+by definition, only contain items u already owns, so recommendations come
+from the cohorts u *almost* belongs to: bicliques whose item set u covers
+largely but not fully.  The uncovered remainder, weighted by cohort size
+and coverage, is the recommendation list.
+
+The example builds a taste-cluster market, computes recommendations for a
+sample user, and checks that the recommendations come from the user's own
+taste cluster rather than global bestsellers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import GraphBuilder, run_mbe
+
+N_USERS = 400
+N_ITEMS = 120
+N_CLUSTERS = 8
+CLUSTER_ITEM_POOL = 15  # items per taste cluster
+USER_SAMPLE_RATE = 0.55  # users buy ~55% of their cluster pool
+NOISE_PURCHASES = 600
+SEED = 99
+
+
+def build_market(rng: np.random.Generator):
+    builder = GraphBuilder()
+    cluster_of_user = {}
+    cluster_items = []
+    for c in range(N_CLUSTERS):
+        pool = rng.choice(N_ITEMS, CLUSTER_ITEM_POOL, replace=False)
+        cluster_items.append(set(map(int, pool)))
+    for u in range(N_USERS):
+        c = int(rng.integers(N_CLUSTERS))
+        cluster_of_user[u] = c
+        for item in cluster_items[c]:
+            if rng.random() < USER_SAMPLE_RATE:
+                builder.add_edge(u, item)
+    for _ in range(NOISE_PURCHASES):
+        builder.add_edge(int(rng.integers(N_USERS)), int(rng.integers(N_ITEMS)))
+    return builder.build(n_u=N_USERS, n_v=N_ITEMS), cluster_of_user, cluster_items
+
+
+def recommend(bicliques, graph, user: int, top_k: int = 5,
+              min_coverage: float = 0.6):
+    """Score unseen items from cohorts the user almost belongs to.
+
+    A cohort (L, R) with ``user ∉ L`` recommends its items the user lacks
+    when the user already owns at least ``min_coverage`` of R; each missing
+    item is backed by the cohort's size scaled by that coverage.
+    """
+    owned = set(graph.neighbors_u(user))
+    scores: dict[int, float] = defaultdict(float)
+    for b in bicliques:
+        if user in b.left or len(b.left) < 2 or len(b.right) < 2:
+            continue
+        covered = sum(1 for item in b.right if item in owned)
+        coverage = covered / len(b.right)
+        if coverage < min_coverage or covered == len(b.right):
+            continue
+        for item in b.right:
+            if item not in owned:
+                scores[item] += len(b.left) * coverage
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top_k]
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    graph, cluster_of_user, cluster_items = build_market(rng)
+    print(f"market: {graph}")
+
+    result = run_mbe(graph, algorithm="mbet")
+    print(f"cohorts (maximal bicliques): {result.count:,} "
+          f"in {result.elapsed:.3f}s")
+
+    # Pick a typically active user: the most active one owns nearly the
+    # whole cluster pool and has nothing left to recommend, so take the
+    # median-degree user instead.
+    by_activity = sorted(range(N_USERS), key=graph.degree_u)
+    user = by_activity[len(by_activity) // 2]
+    cluster = cluster_of_user[user]
+    print(f"\ntarget user u{user} (cluster {cluster}, "
+          f"{graph.degree_u(user)} purchases)")
+
+    recs = recommend(result.bicliques, graph, user)
+    assert recs, "an active user must receive recommendations"
+    print("recommendations (item, cohort evidence):")
+    in_cluster = 0
+    for item, score in recs:
+        member = item in cluster_items[cluster]
+        in_cluster += member
+        tag = "in user's taste cluster" if member else "outside cluster"
+        print(f"  item {item:3d}  score {score:7.1f}  [{tag}]")
+
+    print(f"\n{in_cluster}/{len(recs)} recommendations come from the "
+          "user's own taste cluster")
+    assert in_cluster >= len(recs) // 2, (
+        "cohort evidence should dominate over noise"
+    )
+
+
+if __name__ == "__main__":
+    main()

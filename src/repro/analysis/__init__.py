@@ -1,0 +1,48 @@
+"""Post-enumeration analytics over maximal-biclique collections.
+
+The applications in the paper lineage (fraud detection, biclustering,
+recommendation) never stop at the raw biclique list — they rank, slice and
+aggregate it.  This package provides those operations:
+
+* :func:`~repro.analysis.summary.summarize` — one-call summary object
+  (counts, size extremes, area distribution).
+* :func:`~repro.analysis.summary.size_histogram` /
+  :func:`~repro.analysis.summary.top_k_by_area` — the distribution and
+  headline views.
+* :func:`~repro.analysis.summary.vertex_participation` — how often each
+  vertex appears across bicliques (the fraud-score primitive).
+* :func:`~repro.analysis.summary.edge_coverage` — which edges are
+  explained by at least one biclique (complete MBE covers every edge).
+* :func:`~repro.analysis.summary.filter_by_size` — the (p, q) slice.
+"""
+
+from repro.analysis.cover import cover_quality, greedy_biclique_cover
+from repro.analysis.pq_count import (
+    count_pq_bicliques,
+    count_pq_table,
+    iter_pq_bicliques,
+)
+from repro.analysis.summary import (
+    BicliqueSummary,
+    edge_coverage,
+    filter_by_size,
+    size_histogram,
+    summarize,
+    top_k_by_area,
+    vertex_participation,
+)
+
+__all__ = [
+    "BicliqueSummary",
+    "count_pq_bicliques",
+    "count_pq_table",
+    "cover_quality",
+    "edge_coverage",
+    "filter_by_size",
+    "greedy_biclique_cover",
+    "iter_pq_bicliques",
+    "size_histogram",
+    "summarize",
+    "top_k_by_area",
+    "vertex_participation",
+]

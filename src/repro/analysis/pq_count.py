@@ -1,0 +1,112 @@
+"""Counting (p, q)-bicliques — complete, not necessarily maximal.
+
+The lineage's application papers count fixed-shape bicliques ((p,q)-biclique
+counting for large sparse bipartite graphs): the number of vertex-set pairs
+``(S, T)`` with ``|S| = p``, ``|T| = q`` and every cross pair an edge.
+Counting differs from maximal enumeration — each qualifying *subset* pair
+counts, so one large maximal biclique contributes combinatorially many.
+
+Algorithm: anchor on the side chosen to be S; DFS over ordered p-subsets
+``S``, carrying the running common neighbourhood ``C(S)``.  Each completed
+``S`` contributes ``C(|C(S)|, q)``.  Pruning: abandon a partial ``S`` when
+its common neighbourhood drops below ``q`` or when fewer vertices remain
+than are needed to complete it.  Anchoring on the side that yields fewer
+p-subsets (the smaller side when shapes are symmetric) keeps the DFS
+shallow; pass ``anchor="v"`` to force the other side.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.setops.sorted_ops import intersect
+
+
+def count_pq_bicliques(
+    graph: BipartiteGraph, p: int, q: int, anchor: str = "auto"
+) -> int:
+    """Return the number of (p, q)-bicliques (S ⊆ U with |S| = p).
+
+    ``anchor`` selects the DFS side: ``"u"`` enumerates p-subsets of U,
+    ``"v"`` enumerates q-subsets of V, ``"auto"`` picks the smaller job.
+    """
+    if p < 1 or q < 1:
+        raise ValueError("p and q must be >= 1")
+    if anchor not in ("auto", "u", "v"):
+        raise ValueError(f"anchor must be 'auto', 'u' or 'v', got {anchor!r}")
+    if anchor == "auto":
+        anchor = "u" if graph.n_u <= graph.n_v else "v"
+    if anchor == "v":
+        return count_pq_bicliques(graph.swap_sides(), q, p, anchor="u")
+
+    # DFS over ascending-id subsets of U; vertices with degree < q can
+    # never participate.
+    us = [u for u in range(graph.n_u) if graph.degree_u(u) >= q]
+    total = 0
+
+    def extend(start: int, chosen: int, common: list[int] | None) -> None:
+        nonlocal total
+        if chosen == p:
+            assert common is not None
+            total += comb(len(common), q)
+            return
+        remaining_needed = p - chosen
+        for idx in range(start, len(us) - remaining_needed + 1):
+            u = us[idx]
+            row = graph.neighbors_u(u)
+            new_common = list(row) if common is None else intersect(common, row)
+            if len(new_common) >= q:
+                extend(idx + 1, chosen + 1, new_common)
+
+    extend(0, 0, None)
+    return total
+
+
+def iter_pq_bicliques(graph: BipartiteGraph, p: int, q: int):
+    """Yield every (p, q)-biclique as ``(S, T)`` tuples of sorted ids.
+
+    Same DFS as :func:`count_pq_bicliques` but materializing the right
+    sides (each completed S yields every q-combination of its common
+    neighbourhood).  Intended for small shapes — output size is the
+    count, which grows combinatorially.
+    """
+    from itertools import combinations
+
+    if p < 1 or q < 1:
+        raise ValueError("p and q must be >= 1")
+    us = [u for u in range(graph.n_u) if graph.degree_u(u) >= q]
+
+    def extend(start: int, chosen: tuple[int, ...], common: list[int] | None):
+        if len(chosen) == p:
+            assert common is not None
+            for t in combinations(common, q):
+                yield chosen, t
+            return
+        remaining_needed = p - len(chosen)
+        for idx in range(start, len(us) - remaining_needed + 1):
+            u = us[idx]
+            row = graph.neighbors_u(u)
+            new_common = list(row) if common is None else intersect(common, row)
+            if len(new_common) >= q:
+                yield from extend(idx + 1, chosen + (u,), new_common)
+
+    yield from extend(0, (), None)
+
+
+def count_pq_table(
+    graph: BipartiteGraph, max_p: int, max_q: int
+) -> dict[tuple[int, int], int]:
+    """Return counts for every shape ``1 <= p <= max_p, 1 <= q <= max_q``.
+
+    Convenience for the motif-table view; each cell is an independent
+    :func:`count_pq_bicliques` call (the DFS prefix work is shared only
+    within a cell).
+    """
+    if max_p < 1 or max_q < 1:
+        raise ValueError("max_p and max_q must be >= 1")
+    return {
+        (p, q): count_pq_bicliques(graph, p, q)
+        for p in range(1, max_p + 1)
+        for q in range(1, max_q + 1)
+    }

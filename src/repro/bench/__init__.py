@@ -1,0 +1,29 @@
+"""Benchmark harness: runners, table rendering, and the experiment registry.
+
+``benchmarks/`` (pytest-benchmark) and the CLI both drive the functions in
+this package.  Each reconstructed table/figure of the evaluation (ids
+``R-T1``, ``R-F1`` … see DESIGN.md) is a registered experiment that returns
+printable tables; ``python -m repro experiments --run all`` regenerates the
+whole evaluation and EXPERIMENTS.md records the measured output.
+"""
+
+from repro.bench.runner import RunRecord, measure_peak_memory, run_timed
+from repro.bench.tables import format_table, markdown_table
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "RunRecord",
+    "available_experiments",
+    "format_table",
+    "markdown_table",
+    "measure_peak_memory",
+    "run_experiment",
+    "run_timed",
+]

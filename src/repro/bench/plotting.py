@@ -1,0 +1,111 @@
+"""ASCII charts for the figure experiments.
+
+The evaluation's "figures" are data series (x-axis in the first table
+column, one series per remaining numeric column).  ``ascii_chart`` renders
+them as a terminal scatter/line chart so ``repro-mbe experiments --chart``
+shows the shape directly, without a plotting stack.  Log-scale is the
+default for time series, mirroring the log-scaled figures of the
+literature.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: glyphs assigned to series, in column order
+MARKERS = "ox*+#@%&"
+
+
+def _parse(value: object) -> float | None:
+    """Best-effort numeric parse of a table cell ('TO', '12%', '1.5x', …)."""
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = str(value).strip().rstrip("%x").replace(",", "")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+#: table columns that are counts/labels, not plotted series
+SKIP_COLUMNS = frozenset(
+    {"bicliques", "check", "dataset", "models", "shape", "trie peak nodes",
+     "overflowed inserts", "branches cut", "updates"}
+)
+
+
+def ascii_chart(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    height: int = 12,
+    width: int = 60,
+    log_y: bool = True,
+) -> str:
+    """Render table rows as an ASCII chart (x = first column, one series
+    per remaining numeric column).
+
+    Count/label columns (:data:`SKIP_COLUMNS`) and cells that do not parse
+    as numbers (e.g. ``TO``) are skipped.  Returns an empty string when
+    fewer than two points are plottable.
+    """
+    series: dict[str, list[tuple[int, float]]] = {}
+    x_labels = [str(r[0]) for r in rows]
+    for col in range(1, len(headers)):
+        if headers[col].lower() in SKIP_COLUMNS:
+            continue
+        points = []
+        for i, row in enumerate(rows):
+            y = _parse(row[col])
+            if y is not None and (not log_y or y > 0):
+                points.append((i, y))
+        if len(points) >= 2:
+            series[headers[col]] = points
+    if not series:
+        return ""
+
+    ys = [y for pts in series.values() for _, y in pts]
+    lo, hi = min(ys), max(ys)
+    if log_y:
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    def to_row(y: float) -> int:
+        value = math.log10(y) if log_y else y
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    n_x = max(len(rows), 2)
+
+    def to_col(i: int) -> int:
+        return round(i * (width - 1) / (n_x - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, points) in enumerate(series.items()):
+        marker = MARKERS[idx % len(MARKERS)]
+        for i, y in points:
+            r, c = to_row(y), to_col(i)
+            grid[r][c] = marker if grid[r][c] == " " else "+"
+
+    top = 10 ** hi if log_y else hi
+    bottom = 10 ** lo if log_y else lo
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{top:>10.3g} |"
+        elif r == height - 1:
+            label = f"{bottom:>10.3g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    first, last = x_labels[0], x_labels[-1]
+    gap = max(1, width - len(first) - len(last))
+    lines.append(" " * 12 + first + " " * gap + last)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    scale = "log" if log_y else "linear"
+    lines.append(f"            [{scale} y]  {legend}")
+    return "\n".join(lines)

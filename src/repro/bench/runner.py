@@ -1,0 +1,93 @@
+"""Timing and memory measurement for enumeration runs.
+
+Times reported by the experiments are per-run wall clock of
+:meth:`repro.core.base.MBEAlgorithm.run` with ``collect=False`` (storing
+every biclique would benchmark the allocator).  Memory is measured with
+``tracemalloc`` so the number covers exactly the Python allocations of the
+run, independent of interpreter RSS noise.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.base import ALGORITHMS, EnumerationLimits, MBEResult
+
+
+@dataclass
+class RunRecord:
+    """Outcome of a timed benchmark run."""
+
+    algorithm: str
+    dataset: str
+    elapsed: float
+    count: int
+    complete: bool
+    stats: dict
+
+    @property
+    def status(self) -> str:
+        """``'ok'`` or ``'timeout'`` — timed-out runs keep partial counts."""
+        return "ok" if self.complete else "timeout"
+
+
+def run_timed(
+    graph: BipartiteGraph,
+    algorithm: str,
+    dataset: str = "?",
+    repeats: int = 1,
+    time_limit: float | None = None,
+    **options,
+) -> RunRecord:
+    """Run ``algorithm`` on ``graph`` ``repeats`` times; keep the best time.
+
+    ``time_limit`` (seconds) turns slow baselines into explicit "timeout"
+    rows instead of stalling the harness — mirroring how papers report
+    baselines that exceed the evaluation budget.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    factory = ALGORITHMS[algorithm]
+    best: MBEResult | None = None
+    for _ in range(repeats):
+        algo = factory(**options)
+        limits = EnumerationLimits(time_limit=time_limit)
+        if algorithm == "parallel":
+            result = algo.run(graph, collect=False)  # limits unsupported
+        else:
+            result = algo.run(graph, collect=False, limits=limits)
+        if best is None or result.elapsed < best.elapsed:
+            best = result
+        if not result.complete:
+            break  # no point repeating a timeout
+    assert best is not None
+    return RunRecord(
+        algorithm=algorithm,
+        dataset=dataset,
+        elapsed=best.elapsed,
+        count=best.count,
+        complete=best.complete,
+        stats=best.stats.as_dict(),
+    )
+
+
+def measure_peak_memory(
+    graph: BipartiteGraph, algorithm: str, **options
+) -> tuple[int, MBEResult]:
+    """Return ``(peak_bytes, result)`` for one enumeration run.
+
+    Only allocations made during the run are counted (tracemalloc snapshot
+    is reset right before the run starts).
+    """
+    factory = ALGORITHMS[algorithm]
+    algo = factory(**options)
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = algo.run(graph, collect=False)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, result

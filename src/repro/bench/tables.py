@@ -1,0 +1,51 @@
+"""Plain-text and Markdown table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (numbers right-aligned)."""
+    cells = [[_stringify(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    numeric = [
+        all(isinstance(row[i], (int, float)) for row in rows) if rows else False
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(values: Sequence[str]) -> str:
+        parts = []
+        for i, v in enumerate(values):
+            parts.append(v.rjust(widths[i]) if numeric[i] else v.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(_stringify(c) for c in row) + " |")
+    return "\n".join(out)

@@ -1,0 +1,44 @@
+"""Bipartite-graph substrate.
+
+Provides the graph data structure every algorithm in :mod:`repro.core`
+consumes, plus construction, IO, synthetic generation, statistics, and
+vertex-ordering strategies:
+
+* :class:`~repro.bigraph.graph.BipartiteGraph` — immutable CSR-style graph
+  with sorted adjacency on both sides.
+* :class:`~repro.bigraph.builder.GraphBuilder` — incremental, de-duplicating
+  constructor.
+* :mod:`~repro.bigraph.io` — edge-list readers/writers (plain TSV, KONECT
+  ``out.*``, SNAP-style comments).
+* :mod:`~repro.bigraph.generators` — random, power-law, and planted-biclique
+  generators used to build the dataset zoo.
+* :mod:`~repro.bigraph.stats` — the dataset-statistics table
+  (``|U|, |V|, |E|, D, D₂`` per side).
+* :mod:`~repro.bigraph.ordering` — the vertex orders that drive enumeration.
+"""
+
+from repro.bigraph.builder import GraphBuilder
+from repro.bigraph.generators import (
+    planted_bicliques,
+    powerlaw_bipartite,
+    random_bipartite,
+    subsample_edges,
+)
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.io import read_edge_list, write_edge_list
+from repro.bigraph.ordering import vertex_order
+from repro.bigraph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "BipartiteGraph",
+    "GraphBuilder",
+    "GraphStats",
+    "compute_stats",
+    "planted_bicliques",
+    "powerlaw_bipartite",
+    "random_bipartite",
+    "read_edge_list",
+    "subsample_edges",
+    "vertex_order",
+    "write_edge_list",
+]

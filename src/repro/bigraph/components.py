@@ -1,0 +1,97 @@
+"""Connected components and component-wise enumeration.
+
+Maximal bicliques never span connected components (a biclique is internally
+connected), so MBE decomposes exactly along components.  Real bipartite
+datasets are dominated by one giant component plus a long tail of small
+ones; enumerating per component keeps each subproblem's id space dense and
+lets callers parallelize or prioritize by component size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.bigraph.graph import BipartiteGraph
+
+
+def connected_components(
+    graph: BipartiteGraph,
+) -> list[tuple[list[int], list[int]]]:
+    """Return the connected components as ``(us, vs)`` pairs.
+
+    Isolated vertices (degree 0) are not part of any component — they
+    cannot contribute to any biclique.  Components are returned largest
+    first (by edge-incident vertex count), ties broken by smallest u id.
+    """
+    seen_u = [False] * graph.n_u
+    seen_v = [False] * graph.n_v
+    components: list[tuple[list[int], list[int]]] = []
+    for start in range(graph.n_u):
+        if seen_u[start] or graph.degree_u(start) == 0:
+            continue
+        us: list[int] = []
+        vs: list[int] = []
+        queue: deque[tuple[str, int]] = deque([("u", start)])
+        seen_u[start] = True
+        while queue:
+            side, x = queue.popleft()
+            if side == "u":
+                us.append(x)
+                for v in graph.neighbors_u(x):
+                    if not seen_v[v]:
+                        seen_v[v] = True
+                        queue.append(("v", v))
+            else:
+                vs.append(x)
+                for u in graph.neighbors_v(x):
+                    if not seen_u[u]:
+                        seen_u[u] = True
+                        queue.append(("u", u))
+        us.sort()
+        vs.sort()
+        components.append((us, vs))
+    components.sort(key=lambda c: (-(len(c[0]) + len(c[1])), c[0][0]))
+    return components
+
+
+def component_subgraphs(
+    graph: BipartiteGraph,
+) -> Iterator[tuple[BipartiteGraph, dict[int, int], dict[int, int]]]:
+    """Yield each component as a dense-id subgraph with id maps.
+
+    The maps send *new* ids back to the original ones (the inverse of
+    :meth:`BipartiteGraph.induced_subgraph`'s forward maps), which is what
+    result relabeling needs.
+    """
+    for us, vs in connected_components(graph):
+        sub, u_map, v_map = graph.induced_subgraph(us, vs)
+        back_u = {new: old for old, new in u_map.items()}
+        back_v = {new: old for old, new in v_map.items()}
+        yield sub, back_u, back_v
+
+
+def run_mbe_per_component(
+    graph: BipartiteGraph, algorithm: str = "mbet", **options
+):
+    """Enumerate maximal bicliques component by component.
+
+    Returns a list of :class:`~repro.core.base.Biclique` in the original
+    id space, equal as a set to whole-graph enumeration (tested), plus the
+    per-component counts for reporting.
+    """
+    from repro.core.base import Biclique, run_mbe
+
+    bicliques: list[Biclique] = []
+    per_component: list[int] = []
+    for sub, back_u, back_v in component_subgraphs(graph):
+        result = run_mbe(sub, algorithm, **options)
+        assert result.bicliques is not None
+        per_component.append(result.count)
+        for b in result.bicliques:
+            bicliques.append(
+                Biclique.make(
+                    (back_u[u] for u in b.left), (back_v[v] for v in b.right)
+                )
+            )
+    return bicliques, per_component

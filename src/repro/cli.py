@@ -1,0 +1,366 @@
+"""Command-line interface: ``python -m repro`` / ``repro-mbe``.
+
+Subcommands
+-----------
+``run``          enumerate maximal bicliques of a zoo dataset or edge list
+``analyze``      enumerate + summarize (histogram, top-k, busiest vertices)
+``max``          branch-and-bound search for one maximum biclique
+``verify``       audit a saved biclique file against its graph
+``generate``     write a synthetic bipartite graph to an edge-list file
+``stats``        print a graph's statistics row
+``datasets``     list the dataset zoo
+``algorithms``   list registered algorithms
+``experiments``  regenerate the reconstructed evaluation (see DESIGN.md §4)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import datasets
+from repro.bench.experiments import available_experiments, run_experiment
+from repro.bench.tables import format_table, markdown_table
+from repro.bigraph.io import read_edge_list
+from repro.bigraph.stats import compute_stats
+from repro.core.base import available_algorithms, run_mbe
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return datasets.load(args.dataset), args.dataset
+    graph = read_edge_list(args.input, fmt=args.format)
+    return graph, args.input
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph, name = _load_graph(args)
+    collect = args.output is not None
+    result = run_mbe(
+        graph,
+        algorithm=args.algorithm,
+        collect=collect,
+        max_bicliques=args.max_bicliques,
+        time_limit=args.time_limit,
+    )
+    status = "complete" if result.complete else "stopped at limit"
+    print(
+        f"{args.algorithm} on {name}: {result.count:,} maximal bicliques "
+        f"in {result.elapsed:.3f}s ({status})"
+    )
+    interesting = {k: v for k, v in result.stats.as_dict().items() if v}
+    print("stats:", ", ".join(f"{k}={v:,}" for k, v in interesting.items()))
+    if args.output:
+        from repro.core.io_results import write_bicliques
+
+        written = write_bicliques(result.bicliques or (), args.output)
+        print(f"wrote {written:,} bicliques to {args.output}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.io_results import read_bicliques
+    from repro.core.verify import VerificationError, verify_result
+
+    graph, name = _load_graph(args)
+    bicliques = read_bicliques(args.bicliques)
+    expected = None
+    if args.complete:
+        expected = run_mbe(graph, "mbet").bicliques
+    try:
+        count = verify_result(graph, bicliques, expected=expected)
+    except VerificationError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    suffix = " and the collection is complete" if args.complete else ""
+    print(f"OK: {count:,} bicliques of {name} are maximal and "
+          f"duplicate-free{suffix}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        size_histogram,
+        summarize,
+        top_k_by_area,
+        vertex_participation,
+    )
+
+    graph, name = _load_graph(args)
+    result = run_mbe(
+        graph,
+        algorithm=args.algorithm,
+        min_left=args.min_left,
+        min_right=args.min_right,
+    )
+    assert result.bicliques is not None
+    print(f"{name}: {result.count:,} maximal bicliques "
+          f"(|L| >= {args.min_left}, |R| >= {args.min_right}) "
+          f"in {result.elapsed:.3f}s")
+
+    summary = summarize(result.bicliques)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["count", summary.count],
+            ["max |L|", summary.max_left],
+            ["max |R|", summary.max_right],
+            ["max area", summary.max_area],
+            ["total area", summary.total_area],
+            ["mean |L|", round(summary.mean_left, 2)],
+            ["mean |R|", round(summary.mean_right, 2)],
+        ],
+    ))
+
+    hist = size_histogram(result.bicliques)
+    common = sorted(hist.items(), key=lambda kv: -kv[1])[:8]
+    print("\nmost common shapes (|L| x |R| : count):")
+    print(format_table(
+        ["|L|", "|R|", "count"], [[nl, nr, c] for (nl, nr), c in common]
+    ))
+
+    print(f"\ntop {args.top} bicliques by area:")
+    rows = [
+        [",".join(map(str, b.left)), ",".join(map(str, b.right)), b.n_edges]
+        for b in top_k_by_area(result.bicliques, args.top)
+    ]
+    print(format_table(["left", "right", "area"], rows))
+
+    left_counts, right_counts = vertex_participation(result.bicliques)
+    busiest_u = left_counts.most_common(args.top)
+    busiest_v = right_counts.most_common(args.top)
+    print("\nbusiest vertices (memberships):")
+    print(format_table(
+        ["side", "vertex", "bicliques"],
+        [["U", u, c] for u, c in busiest_u]
+        + [["V", v, c] for v, c in busiest_v],
+    ))
+    return 0
+
+
+def _cmd_max(args: argparse.Namespace) -> int:
+    from repro.core.maxsearch import find_maximum_biclique
+
+    graph, name = _load_graph(args)
+    result = find_maximum_biclique(
+        graph,
+        objective=args.objective,
+        min_left=args.min_left,
+        min_right=args.min_right,
+    )
+    if result.biclique is None:
+        print(f"{name}: no biclique satisfies the constraints")
+        return 1
+    b = result.biclique
+    print(f"{name}: maximum-{args.objective} biclique has value "
+          f"{result.value} ({len(b.left)} x {len(b.right)})")
+    print(f"left:  {','.join(map(str, b.left))}")
+    print(f"right: {','.join(map(str, b.right))}")
+    print(f"branches cut by bound: {result.stats.threshold_pruned:,}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.bigraph.generators import (
+        planted_bicliques,
+        powerlaw_bipartite,
+        random_bipartite,
+    )
+    from repro.bigraph.io import write_edge_list
+
+    if args.kind == "random":
+        graph = random_bipartite(args.n_u, args.n_v, args.p, seed=args.seed)
+    elif args.kind == "powerlaw":
+        graph = powerlaw_bipartite(
+            args.n_u, args.n_v, args.edges, args.exponent, seed=args.seed
+        )
+    else:
+        graph = planted_bicliques(
+            args.n_u, args.n_v, args.blocks,
+            noise_edges=args.edges, seed=args.seed,
+        )
+    write_edge_list(
+        graph,
+        args.output,
+        fmt=args.format if args.format != "auto" else "plain",
+        header=[f"synthetic {args.kind} bipartite graph, seed={args.seed}"],
+    )
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.bigraph.components import connected_components
+    from repro.bigraph.ordering import degeneracy_order
+
+    graph, name = _load_graph(args)
+    st = compute_stats(graph)
+    rows = [[k, v] for k, v in st.as_row().items()]
+    components = connected_components(graph)
+    rows.append(["components", len(components)])
+    if components:
+        rows.append(
+            ["largest component", len(components[0][0]) + len(components[0][1])]
+        )
+    rows.append(["degeneracy", degeneracy_order(graph)[1]])
+    print(f"statistics for {name}:")
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for key in datasets.names():
+        sp = datasets.spec(key)
+        p = sp.params
+        rows.append(
+            [key, sp.models, sp.kind, p.get("n_u"), p.get("n_v"),
+             sp.approx_bicliques]
+        )
+    print(format_table(
+        ["key", "models", "kind", "|U|", "|V|", "max. bicliques"], rows
+    ))
+    return 0
+
+
+def _cmd_algorithms(_args: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    ids = available_experiments() if args.run == "all" else [args.run]
+    md_chunks: list[str] = []
+    for exp_id in ids:
+        result = run_experiment(exp_id, quick=args.quick)
+        print(f"\n=== {result.exp_id}: {result.title} ===")
+        for caption, headers, rows in result.tables:
+            print(f"\n{caption}")
+            print(format_table(headers, rows))
+            if args.chart and exp_id.startswith("R-F"):
+                from repro.bench.plotting import ascii_chart
+
+                chart = ascii_chart(headers, rows)
+                if chart:
+                    print()
+                    print(chart)
+        for note in result.notes:
+            print(f"note: {note}")
+        if args.markdown:
+            md_chunks.append(f"### {result.exp_id}: {result.title}\n")
+            for caption, headers, rows in result.tables:
+                md_chunks.append(f"**{caption}**\n")
+                md_chunks.append(markdown_table(headers, rows) + "\n")
+            md_chunks.extend(f"> {note}\n" for note in result.notes)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(md_chunks))
+        print(f"\nwrote markdown to {args.markdown}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mbe",
+        description="Maximal biclique enumeration (prefix-tree reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_source(p: argparse.ArgumentParser) -> None:
+        src = p.add_mutually_exclusive_group(required=True)
+        src.add_argument("--dataset", choices=datasets.names(),
+                         help="zoo dataset key")
+        src.add_argument("--input", help="edge-list file")
+        p.add_argument("--format", default="auto",
+                       choices=["auto", "plain", "konect"],
+                       help="edge-list format (with --input)")
+
+    p_run = sub.add_parser("run", help="enumerate maximal bicliques")
+    add_graph_source(p_run)
+    p_run.add_argument("--algorithm", "-a", default="mbet",
+                       choices=available_algorithms())
+    p_run.add_argument("--max-bicliques", type=int, default=None)
+    p_run.add_argument("--time-limit", type=float, default=None)
+    p_run.add_argument("--output", "-o", default=None,
+                       help="write bicliques as 'u1,u2\\tv1,v2' lines")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_an = sub.add_parser("analyze", help="enumerate and summarize bicliques")
+    add_graph_source(p_an)
+    p_an.add_argument("--algorithm", "-a", default="mbet",
+                      choices=["mbet", "mbet_iter", "mbetm"],
+                      help="size-constraint-capable algorithms only")
+    p_an.add_argument("--min-left", type=int, default=1)
+    p_an.add_argument("--min-right", type=int, default=1)
+    p_an.add_argument("--top", type=int, default=5)
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_max = sub.add_parser("max", help="find one maximum biclique")
+    add_graph_source(p_max)
+    p_max.add_argument("--objective", default="edges",
+                       choices=["edges", "vertices", "balanced"])
+    p_max.add_argument("--min-left", type=int, default=1)
+    p_max.add_argument("--min-right", type=int, default=1)
+    p_max.set_defaults(func=_cmd_max)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic graph")
+    p_gen.add_argument("--kind", required=True,
+                       choices=["random", "powerlaw", "planted"])
+    p_gen.add_argument("--n-u", type=int, default=1000)
+    p_gen.add_argument("--n-v", type=int, default=500)
+    p_gen.add_argument("--p", type=float, default=0.01,
+                       help="edge probability (random kind)")
+    p_gen.add_argument("--edges", type=int, default=5000,
+                       help="edge draws (powerlaw) / noise edges (planted)")
+    p_gen.add_argument("--exponent", type=float, default=2.0)
+    p_gen.add_argument("--blocks", type=int, default=100,
+                       help="planted blocks (planted kind)")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--format", default="plain",
+                       choices=["plain", "konect"])
+    p_gen.add_argument("--output", "-o", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_ver = sub.add_parser("verify", help="audit a saved biclique file")
+    add_graph_source(p_ver)
+    p_ver.add_argument("--bicliques", required=True,
+                       help="file written by 'run -o'")
+    p_ver.add_argument("--complete", action="store_true",
+                       help="also check no maximal biclique is missing")
+    p_ver.set_defaults(func=_cmd_verify)
+
+    p_stats = sub.add_parser("stats", help="print graph statistics")
+    add_graph_source(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_ds = sub.add_parser("datasets", help="list the dataset zoo")
+    p_ds.set_defaults(func=_cmd_datasets)
+
+    p_algo = sub.add_parser("algorithms", help="list algorithms")
+    p_algo.set_defaults(func=_cmd_algorithms)
+
+    p_exp = sub.add_parser("experiments", help="run the evaluation suite")
+    p_exp.add_argument("--run", default="all",
+                       choices=["all"] + available_experiments())
+    p_exp.add_argument("--quick", action="store_true",
+                       help="seconds-scale configurations")
+    p_exp.add_argument("--markdown", default=None,
+                       help="also write results as markdown to this file")
+    p_exp.add_argument("--chart", action="store_true",
+                       help="render figure experiments as ASCII charts")
+    p_exp.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,287 @@
+"""Shared framework for all MBE algorithms: results, stats, limits, registry.
+
+Every algorithm subclasses :class:`MBEAlgorithm` and implements a single
+method that walks its enumeration tree and calls ``report(ls, rs)`` for each
+maximal biclique.  The framework supplies:
+
+* canonical :class:`Biclique` values (sorted tuples on both sides),
+* :class:`EnumerationStats` counters every experiment reads,
+* result-count / wall-clock limits that abort enumeration cleanly,
+* an algorithm registry so benchmarks and the CLI can select by name.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.bigraph.graph import BipartiteGraph
+
+
+@dataclass(frozen=True, order=True)
+class Biclique:
+    """A maximal biclique ``(L, R)`` in canonical form (sorted tuples)."""
+
+    left: tuple[int, ...]
+    right: tuple[int, ...]
+
+    @classmethod
+    def make(cls, left: Iterable[int], right: Iterable[int]) -> "Biclique":
+        """Canonicalize arbitrary iterables into a :class:`Biclique`."""
+        return cls(tuple(sorted(left)), tuple(sorted(right)))
+
+    def swap(self) -> "Biclique":
+        """Return the biclique with sides exchanged (for side-swapped graphs)."""
+        return Biclique(self.right, self.left)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges the biclique covers, ``|L| * |R|``."""
+        return len(self.left) * len(self.right)
+
+
+class EnumerationStats:
+    """Counters accumulated during one enumeration run.
+
+    ``nodes``            enumeration-tree nodes expanded
+    ``maximal``          maximal bicliques reported (α in the papers)
+    ``non_maximal``      nodes rejected by the maximality check (δ)
+    ``checks``           individual traversed-vertex containment tests
+    ``trie_pruned``      containment tests answered by prefix-tree descent
+                         without touching every stored set
+    ``intersections``    neighbourhood intersections performed
+    ``merged_candidates`` candidates absorbed by equal-signature merging
+    ``subtrees``         first-level subproblems processed
+    ``trie_peak_nodes``  peak prefix-tree size (MBET/MBETM only)
+    ``trie_overflow``    containment sets that did not fit the trie budget
+    ``threshold_pruned`` branches cut by min_left/min_right bounds
+    """
+
+    __slots__ = (
+        "nodes",
+        "maximal",
+        "non_maximal",
+        "checks",
+        "trie_pruned",
+        "intersections",
+        "merged_candidates",
+        "subtrees",
+        "trie_peak_nodes",
+        "trie_overflow",
+        "threshold_pruned",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Return all counters as a plain dict (for tables and JSON)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other: "EnumerationStats") -> None:
+        """Accumulate another stats object (peaks take the max)."""
+        for name in self.__slots__:
+            if name == "trie_peak_nodes":
+                setattr(self, name, max(getattr(self, name), getattr(other, name)))
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"EnumerationStats({body})"
+
+
+class LimitReached(Exception):
+    """Raised internally to abort enumeration when a limit is hit."""
+
+
+@dataclass
+class EnumerationLimits:
+    """Optional bounds on one enumeration run.
+
+    ``max_bicliques`` stops after that many results; ``time_limit`` (seconds)
+    stops at the first node boundary past the deadline.  A run cut short is
+    flagged ``MBEResult.complete == False`` but keeps everything found.
+    """
+
+    max_bicliques: int | None = None
+    time_limit: float | None = None
+
+    def validate(self) -> None:
+        """Raise ValueError on out-of-range limits."""
+        if self.max_bicliques is not None and self.max_bicliques < 0:
+            raise ValueError("max_bicliques must be non-negative")
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+
+
+@dataclass
+class MBEResult:
+    """Outcome of one enumeration run."""
+
+    algorithm: str
+    count: int
+    elapsed: float
+    stats: EnumerationStats
+    bicliques: list[Biclique] | None = None
+    complete: bool = True
+    meta: dict = field(default_factory=dict)
+
+    def biclique_set(self) -> frozenset[Biclique]:
+        """Return results as a set (requires the run to have collected them)."""
+        if self.bicliques is None:
+            raise ValueError("run was executed with collect=False")
+        return frozenset(self.bicliques)
+
+
+class _Sink:
+    """Internal reporter handling collection, counting, and limits."""
+
+    __slots__ = ("collect", "results", "count", "limits", "deadline", "swapped")
+
+    def __init__(self, collect: bool, limits: EnumerationLimits, swapped: bool):
+        self.collect = collect
+        self.results: list[Biclique] = []
+        self.count = 0
+        self.limits = limits
+        self.swapped = swapped
+        self.deadline = (
+            time.perf_counter() + limits.time_limit
+            if limits.time_limit is not None
+            else None
+        )
+
+    def __call__(self, left: Iterable[int], right: Iterable[int]) -> None:
+        self.count += 1
+        if self.collect:
+            b = Biclique.make(left, right)
+            self.results.append(b.swap() if self.swapped else b)
+        if (
+            self.limits.max_bicliques is not None
+            and self.count >= self.limits.max_bicliques
+        ):
+            raise LimitReached
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise LimitReached
+
+
+class MBEAlgorithm(ABC):
+    """Base class: subclasses implement :meth:`_enumerate` only.
+
+    ``orient_smaller_v=True`` (the literature's convention) transparently
+    swaps the graph so the enumeration side V is the smaller one, and swaps
+    reported bicliques back.
+    """
+
+    #: registry name, overridden per subclass
+    name: str = "abstract"
+
+    def __init__(self, orient_smaller_v: bool = False):
+        self.orient_smaller_v = orient_smaller_v
+
+    @abstractmethod
+    def _enumerate(
+        self,
+        graph: BipartiteGraph,
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+    ) -> None:
+        """Walk the enumeration tree, calling ``report`` per maximal biclique."""
+
+    def run(
+        self,
+        graph: BipartiteGraph,
+        collect: bool = True,
+        limits: EnumerationLimits | None = None,
+    ) -> MBEResult:
+        """Enumerate all maximal bicliques of ``graph``.
+
+        With ``collect=False`` only counts and stats are kept, which is what
+        the large benchmarks use (storing tens of thousands of bicliques
+        would measure the allocator, not the algorithm).
+        """
+        limits = limits or EnumerationLimits()
+        limits.validate()
+        work_graph, swapped = (
+            graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
+        )
+        stats = EnumerationStats()
+        sink = _Sink(collect, limits, swapped)
+
+        # Enumeration recursion is bounded by the V side, but signature
+        # chains inside a subtree can be as deep as the largest left
+        # universe, so size the limit on both sides.  Pure-Python recursion
+        # in CPython >= 3.11 does not grow the C stack per frame.
+        depth_need = 4 * (work_graph.n_v + work_graph.n_u + 64)
+        old_limit = sys.getrecursionlimit()
+        if depth_need > old_limit:
+            sys.setrecursionlimit(depth_need)
+        start = time.perf_counter()
+        complete = True
+        try:
+            self._enumerate(work_graph, sink, stats)
+        except LimitReached:
+            complete = False
+        finally:
+            if depth_need > old_limit:
+                sys.setrecursionlimit(old_limit)
+        elapsed = time.perf_counter() - start
+        stats.maximal = sink.count
+        return MBEResult(
+            algorithm=self.name,
+            count=sink.count,
+            elapsed=elapsed,
+            stats=stats,
+            bicliques=sink.results if collect else None,
+            complete=complete,
+        )
+
+
+#: name -> algorithm factory; populated by the algorithm modules at import.
+ALGORITHMS: dict[str, Callable[..., MBEAlgorithm]] = {}
+
+
+def register(factory: Callable[..., MBEAlgorithm]) -> Callable[..., MBEAlgorithm]:
+    """Class decorator adding an algorithm to the registry by its ``name``."""
+    name = getattr(factory, "name", None)
+    if not name or name == "abstract":
+        raise ValueError(f"algorithm {factory!r} must define a unique name")
+    if name in ALGORITHMS:
+        raise ValueError(f"duplicate algorithm name {name!r}")
+    ALGORITHMS[name] = factory
+    return factory
+
+
+def available_algorithms() -> list[str]:
+    """Return the registered algorithm names, sorted."""
+    return sorted(ALGORITHMS)
+
+
+def run_mbe(
+    graph: BipartiteGraph,
+    algorithm: str = "mbet",
+    collect: bool = True,
+    max_bicliques: int | None = None,
+    time_limit: float | None = None,
+    **options,
+) -> MBEResult:
+    """Run a registered algorithm by name — the library's main entry point.
+
+    >>> from repro import BipartiteGraph, run_mbe
+    >>> g = BipartiteGraph([(0, 0), (0, 1), (1, 0), (1, 1), (2, 1)])
+    >>> sorted(b.right for b in run_mbe(g, "mbet").bicliques)
+    [(0, 1), (1,)]
+    """
+    try:
+        factory = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
+        ) from None
+    algo = factory(**options)
+    limits = EnumerationLimits(max_bicliques=max_bicliques, time_limit=time_limit)
+    return algo.run(graph, collect=collect, limits=limits)

@@ -1,0 +1,61 @@
+"""Powerset ground truth for small graphs.
+
+Enumerates every non-empty subset R of the enumeration side, closes it to
+``(C(R), C(C(R)))`` and keeps the pair when it is exactly ``(L, R)`` with
+``L`` non-empty — i.e. when R is closed.  This visits each maximal biclique
+once per subset that closes to it, so it is exponential and guarded by a
+size cap; it exists purely as the oracle the property tests compare every
+real algorithm against.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Sequence
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.base import EnumerationStats, MBEAlgorithm, register
+from repro.setops.sorted_ops import multi_intersect
+
+#: Largest enumeration side the brute-force oracle accepts by default.
+DEFAULT_MAX_SIDE = 22
+
+
+@register
+class BruteForceMBE(MBEAlgorithm):
+    """Exponential oracle: closure of every subset of the smaller side."""
+
+    name = "bruteforce"
+
+    def __init__(self, max_side: int = DEFAULT_MAX_SIDE, orient_smaller_v: bool = True):
+        super().__init__(orient_smaller_v=orient_smaller_v)
+        self.max_side = max_side
+
+    def _enumerate(
+        self,
+        graph: BipartiteGraph,
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+    ) -> None:
+        n_v = graph.n_v
+        if n_v > self.max_side:
+            raise ValueError(
+                f"brute force refuses |V| = {n_v} > {self.max_side}; "
+                "raise max_side explicitly if you really mean it"
+            )
+        active = [v for v in range(n_v) if graph.degree_v(v) > 0]
+        for size in range(1, len(active) + 1):
+            for rs in combinations(active, size):
+                stats.nodes += 1
+                left = multi_intersect([graph.neighbors_v(v) for v in rs])
+                stats.intersections += len(rs)
+                if not left:
+                    continue
+                closed_r = tuple(multi_intersect([graph.neighbors_u(u) for u in left]))
+                stats.intersections += len(left)
+                if closed_r != rs:
+                    # R not closed: this subset closes to a larger biclique
+                    # that another subset will produce verbatim.
+                    stats.non_maximal += 1
+                    continue
+                report(left, rs)

@@ -1,0 +1,55 @@
+"""Serialization of biclique collections.
+
+Format: one biclique per line, left ids comma-separated, a tab, right ids
+comma-separated — the same format ``repro-mbe run -o`` writes, so saved
+results round-trip through :func:`read_bicliques` and can be audited later
+with ``repro-mbe verify``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.core.base import Biclique
+
+
+def write_bicliques(
+    bicliques: Iterable[Biclique], path: str | os.PathLike[str]
+) -> int:
+    """Write bicliques as ``u1,u2<TAB>v1,v2`` lines; returns count written."""
+    count = 0
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        for b in bicliques:
+            left = ",".join(map(str, b.left))
+            right = ",".join(map(str, b.right))
+            handle.write(f"{left}\t{right}\n")
+            count += 1
+    return count
+
+
+def read_bicliques(path: str | os.PathLike[str]) -> list[Biclique]:
+    """Read a biclique file written by :func:`write_bicliques`."""
+    out: list[Biclique] = []
+    path = os.fspath(path)
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'left<TAB>right', got {line!r}"
+                )
+            try:
+                left = [int(x) for x in parts[0].split(",") if x]
+                right = [int(x) for x in parts[1].split(",") if x]
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer vertex id"
+                ) from exc
+            if not left or not right:
+                raise ValueError(f"{path}:{lineno}: empty biclique side")
+            out.append(Biclique.make(left, right))
+    return out

@@ -1,0 +1,118 @@
+"""Iterative (explicit-stack) MBET.
+
+Same search, same prefix tree, same pruning as :class:`repro.core.mbet.MBET`
+— but the depth-first walk keeps its own frame stack instead of recursing.
+Deep enumeration chains are bounded by the largest left universe, which on
+hub-heavy graphs reaches thousands of levels; the iterative driver makes
+depth a pure memory question and removes the recursion-limit coupling.
+This is the variant to embed in servers and long-running services.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.base import EnumerationStats, register
+from repro.core.mbet import MBET
+
+
+class _Frame:
+    """One enumeration node's loop state."""
+
+    __slots__ = ("right", "groups", "index", "tokens", "pending", "suffix", "limit")
+
+    def __init__(self, right, groups, limit, suffix):
+        self.right = right
+        self.groups = groups
+        self.index = 0
+        self.tokens = []
+        self.pending = None  # signature to mark traversed when resumed
+        self.suffix = suffix  # suffix vertex counts (constrained mode only)
+        self.limit = limit
+
+
+@register
+class MBETIterative(MBET):
+    """MBET with an explicit stack instead of recursion."""
+
+    name = "mbet_iter"
+
+    def _search(
+        self,
+        right: tuple[int, ...],
+        groups,
+        store,
+        space,
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+        branch_limit: int | None = None,
+    ) -> None:
+        constrained = self.min_left > 1 or self.min_right > 1
+
+        def suffix_counts(gs):
+            if not constrained:
+                return None
+            out = [0] * (len(gs) + 1)
+            for i in range(len(gs) - 1, -1, -1):
+                out[i] = out[i + 1] + len(gs[i][1])
+            return out
+
+        root_limit = len(groups) if branch_limit is None else min(
+            branch_limit, len(groups)
+        )
+        stack = [_Frame(right, groups, root_limit, suffix_counts(groups))]
+        stats.nodes += 1
+        while stack:
+            frame = stack[-1]
+            if frame.pending is not None:
+                frame.tokens.append(store.insert(frame.pending))
+                frame.pending = None
+                frame.index += 1
+            if frame.index >= frame.limit:
+                for token in reversed(frame.tokens):
+                    store.remove(token)
+                stack.pop()
+                continue
+            i = frame.index
+            new_left, gverts = frame.groups[i]
+            if constrained and (
+                new_left.bit_count() < self.min_left
+                or len(frame.right) + len(gverts) + frame.suffix[i + 1]
+                < self.min_right
+            ):
+                stats.threshold_pruned += 1
+                frame.tokens.append(store.insert(new_left))
+                frame.index += 1
+                continue
+            if store.has_superset(new_left):
+                stats.non_maximal += 1
+                frame.tokens.append(store.insert(new_left))
+                frame.index += 1
+                continue
+            new_right = list(frame.right)
+            new_right.extend(gverts)
+            child = []
+            n = len(frame.groups)
+            for j in range(i + 1, n):
+                m2, v2 = frame.groups[j]
+                inter = m2 & new_left
+                stats.intersections += 1
+                if inter == new_left:
+                    new_right.extend(v2)
+                elif inter:
+                    child.append((inter, v2))
+            new_right.sort()
+            if not constrained or len(new_right) >= self.min_right:
+                report(space.decode(new_left), new_right)
+            frame.pending = new_left  # mark traversed after the child returns
+            if child:
+                child_groups = self._group(child, stats)
+                stats.nodes += 1
+                stack.append(
+                    _Frame(
+                        tuple(new_right),
+                        child_groups,
+                        len(child_groups),
+                        suffix_counts(child_groups),
+                    )
+                )

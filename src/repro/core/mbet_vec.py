@@ -1,0 +1,192 @@
+"""Vectorized MBET: candidate filtering on numpy uint64 chunk matrices.
+
+The recursive MBET spends its inner loop intersecting the branch's new
+left side with every remaining candidate group — a Python-level loop of
+int ANDs.  This engine keeps each node's candidate signatures as the rows
+of a ``(n_groups, words)`` uint64 matrix and performs that loop as three
+numpy kernels (AND, equality-reduce, any-reduce), which pays off on *wide*
+nodes (many candidate groups).
+
+Everything else — the first-level decomposition, the prefix-tree
+maximality store (which still operates on Python-int masks, converted per
+branch), size constraints, feature flags — is inherited from
+:class:`repro.core.mbet.MBET`.  The result set is identical (agreement-
+tested); the enumeration *order* may differ because signature grouping
+sorts rows lexicographically rather than by integer value.
+
+**Measured outcome (kept as a documented negative result):** at the
+dataset-zoo scale this engine is ~2-3x *slower* than the int-bitmask
+engine — enumeration nodes are narrow (a handful of candidate groups), so
+per-node numpy dispatch overhead dominates, while CPython's big-int ``&``
+is already a single C call.  The ablation experiment R-F6 records the
+comparison; the engine remains useful as an independently-implemented
+cross-check and for workloads with very wide nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import EnumerationStats, register
+from repro.core.decompose import Subproblem
+from repro.core.mbet import MBET, _ListQ, _TrieQ
+
+_WORD = 64
+
+
+def _masks_to_matrix(masks: Sequence[int], words: int) -> np.ndarray:
+    """Pack Python-int masks into a (len(masks), words) uint64 matrix."""
+    out = np.zeros((len(masks), words), dtype=np.uint64)
+    for i, mask in enumerate(masks):
+        out[i] = np.frombuffer(
+            mask.to_bytes(words * 8, "little"), dtype=np.uint64
+        )
+    return out
+
+
+def _row_to_int(row: np.ndarray) -> int:
+    """Unpack one uint64 row back into a Python-int mask."""
+    return int.from_bytes(row.tobytes(), "little")
+
+
+@register
+class MBETVectorized(MBET):
+    """MBET with numpy-vectorized candidate filtering."""
+
+    name = "mbet_vec"
+
+    def _run_subproblem(
+        self,
+        sub: Subproblem,
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+    ) -> None:
+        space = sub.space
+        store = _TrieQ(self.trie_max_nodes) if self.use_trie else _ListQ()
+        for sig in sub.traversed:
+            store.insert(sig)
+
+        if len(sub.right) >= self.min_right:
+            report(space.universe, sub.right)
+
+        if sub.cands:
+            words = max(1, -(-len(space) // _WORD))
+            matrix = _masks_to_matrix([m for _, m in sub.cands], words)
+            verts: list[tuple[int, ...]] = [(w,) for w, _ in sub.cands]
+            matrix, verts = self._group_matrix(matrix, verts, stats)
+            reachable = len(sub.right) + sum(len(v) for v in verts)
+            if reachable >= self.min_right:
+                self._search_matrix(
+                    tuple(sub.right), matrix, verts, store, space, report, stats
+                )
+            else:
+                stats.threshold_pruned += 1
+
+        if isinstance(store, _TrieQ):
+            trie = store.trie
+            stats.checks += trie.queries
+            saved = trie.scan_equivalent - trie.node_visits - store.overflow_scans
+            if saved > 0:
+                stats.trie_pruned += saved
+            if trie.peak_nodes > stats.trie_peak_nodes:
+                stats.trie_peak_nodes = trie.peak_nodes
+            stats.trie_overflow += trie.rejected_inserts
+        else:
+            stats.checks += store.checks
+
+    # -- vectorized node expansion --------------------------------------------
+
+    def _group_matrix(
+        self,
+        matrix: np.ndarray,
+        verts: list[tuple[int, ...]],
+        stats: EnumerationStats,
+    ) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+        """Merge equal rows (signature merging) and order the groups."""
+        if self.use_merge and len(verts) > 1:
+            unique, inverse = np.unique(matrix, axis=0, return_inverse=True)
+            if len(unique) < len(verts):
+                stats.merged_candidates += len(verts) - len(unique)
+                merged: list[tuple[int, ...]] = [()] * len(unique)
+                for src, dst in enumerate(inverse):
+                    merged[int(dst)] = merged[int(dst)] + verts[src]
+                matrix, verts = unique, merged
+        if self.use_sort and len(verts) > 1:
+            popcounts = np.bitwise_count(matrix).sum(axis=1)
+            order = np.argsort(popcounts, kind="stable")
+            matrix = matrix[order]
+            verts = [verts[int(i)] for i in order]
+        return matrix, verts
+
+    def _search_matrix(
+        self,
+        right: tuple[int, ...],
+        matrix: np.ndarray,
+        verts: list[tuple[int, ...]],
+        store,
+        space,
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+    ) -> None:
+        stats.nodes += 1
+        tokens = []
+        n = len(verts)
+        constrained = self.min_left > 1 or self.min_right > 1
+        if constrained:
+            suffix = [0] * (n + 1)
+            for i in range(n - 1, -1, -1):
+                suffix[i] = suffix[i + 1] + len(verts[i])
+        for i in range(n):
+            new_left_row = matrix[i]
+            new_left = _row_to_int(new_left_row)
+            gverts = verts[i]
+            if constrained and (
+                new_left.bit_count() < self.min_left
+                or len(right) + len(gverts) + suffix[i + 1] < self.min_right
+            ):
+                stats.threshold_pruned += 1
+                tokens.append(store.insert(new_left))
+                continue
+            if store.has_superset(new_left):
+                stats.non_maximal += 1
+                tokens.append(store.insert(new_left))
+                continue
+            new_right = list(right)
+            new_right.extend(gverts)
+            child_matrix = None
+            child_verts: list[tuple[int, ...]] = []
+            if i + 1 < n:
+                tail = matrix[i + 1 :]
+                inter = tail & new_left_row
+                stats.intersections += len(tail)
+                full = (inter == new_left_row).all(axis=1)
+                nonzero = inter.any(axis=1)
+                for j in np.flatnonzero(full):
+                    new_right.extend(verts[i + 1 + int(j)])
+                partial = nonzero & ~full
+                if partial.any():
+                    child_matrix = inter[partial]
+                    child_verts = [
+                        verts[i + 1 + int(j)] for j in np.flatnonzero(partial)
+                    ]
+            new_right.sort()
+            if not constrained or len(new_right) >= self.min_right:
+                report(space.decode(new_left), new_right)
+            if child_matrix is not None:
+                child_matrix, child_verts = self._group_matrix(
+                    child_matrix, child_verts, stats
+                )
+                self._search_matrix(
+                    tuple(new_right),
+                    child_matrix,
+                    child_verts,
+                    store,
+                    space,
+                    report,
+                    stats,
+                )
+            tokens.append(store.insert(new_left))
+        for token in reversed(tokens):
+            store.remove(token)

@@ -1,0 +1,106 @@
+"""ooMBEA-style ordered baseline.
+
+Chen et al. (PVLDB 2022) accelerate MBE with a *unilateral order* on the
+enumeration side plus first-level decomposition into 2-hop-confined
+subproblems.  This baseline applies both — it shares the decomposition of
+:mod:`repro.core.decompose` with MBET — but keeps the classic set-based
+inner recursion with linear-scan maximality checks.  The gap between this
+class and :class:`repro.core.mbet.MBET` therefore isolates exactly what the
+prefix tree and signature merging add on top of ordering/decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.base import EnumerationStats, MBEAlgorithm, register
+from repro.core.decompose import iter_subproblems
+
+
+@register
+class OOMBEA(MBEAlgorithm):
+    """Ordered, 2-hop-decomposed MBE with set-based inner search."""
+
+    name = "oombea"
+
+    def __init__(
+        self, order: str = "unilateral", orient_smaller_v: bool = False, seed: int = 0
+    ):
+        super().__init__(orient_smaller_v=orient_smaller_v)
+        self.order = order
+        self.seed = seed
+
+    def _enumerate(
+        self,
+        graph: BipartiteGraph,
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+    ) -> None:
+        for sub in iter_subproblems(graph, self.order, seed=self.seed):
+            stats.subtrees += 1
+            space = sub.space
+            report(space.universe, sub.right)
+            if not sub.cands:
+                continue
+            left0 = frozenset(space.universe)
+            cands = [(w, frozenset(space.decode(sig))) for w, sig in sub.cands]
+            traversed = [frozenset(space.decode(sig)) for sig in sub.traversed]
+            self._search(
+                graph, left0, tuple(sub.right), cands, traversed, report, stats
+            )
+
+    def _search(
+        self,
+        graph: BipartiteGraph,
+        left: frozenset[int],
+        right: tuple[int, ...],
+        cands: list[tuple[int, frozenset[int]]],
+        traversed: list[frozenset[int]],
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+    ) -> None:
+        """Inner recursion; candidates carry their local neighbourhood sets."""
+        stats.nodes += 1
+        q = list(traversed)
+        n = len(cands)
+        for i in range(n):
+            x, new_left = cands[i]
+            size_l = len(new_left)
+            maximal = True
+            next_q: list[frozenset[int]] = []
+            for t_set in q:
+                stats.checks += 1
+                common = len(new_left & t_set)
+                if common == size_l:
+                    maximal = False
+                    break
+                if common:
+                    next_q.append(t_set)
+            if maximal:
+                new_right = list(right)
+                new_right.append(x)
+                next_cands: list[tuple[int, frozenset[int]]] = []
+                for j in range(i + 1, n):
+                    w, w_local = cands[j]
+                    stats.intersections += 1
+                    inter = new_left & w_local
+                    if len(inter) == size_l:
+                        new_right.append(w)
+                    elif inter:
+                        next_cands.append((w, inter))
+                new_right.sort()
+                report(sorted(new_left), new_right)
+                if next_cands:
+                    self._search(
+                        graph,
+                        new_left,
+                        tuple(new_right),
+                        next_cands,
+                        next_q,
+                        report,
+                        stats,
+                    )
+            else:
+                stats.non_maximal += 1
+            q.append(new_left)

@@ -1,0 +1,231 @@
+"""Shared-memory parallel MBE over first-level subproblems.
+
+The enumeration tree decomposes into independent first-level subtrees
+(:mod:`repro.core.decompose`), which is the parallelization unit of every
+multicore MBE system in this literature.  Two refinements make the
+distribution *load-aware*:
+
+* **Task splitting.**  A subtree whose estimated size
+  ``min(|L₀|, |N₂(v)|) * |N₂(v)|`` exceeds ``bound_size`` (and whose height
+  bound exceeds ``bound_height``) is split into ``k`` *root-slice* tasks:
+  slice ``(v, part, k)`` branches only on the ``part``-th fraction of the
+  root's candidate groups, seeding its traversed store with all groups
+  before the slice.  Sibling branches interact only through the traversed
+  set, so slices are independent and their union is exactly the subtree.
+* **LPT scheduling.**  Tasks are dispatched largest-estimate-first to the
+  process pool, the classic longest-processing-time heuristic.
+
+Workers are forked with the graph shipped once through the pool
+initializer; each task reconstructs its subproblem locally (cheap relative
+to enumerating it) and returns counts, stats, and optionally the bicliques.
+
+Caveat recorded with experiment R-F9: this container exposes a single CPU
+core, so measured "speedups" here are scheduling overhead; the machinery
+itself is exercised and verified regardless.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.ordering import rank_of, vertex_order
+from repro.core.base import (
+    Biclique,
+    EnumerationLimits,
+    EnumerationStats,
+    MBEAlgorithm,
+    MBEResult,
+    register,
+)
+from repro.core.decompose import build_subproblem
+from repro.core.mbet import MBET
+
+# Globals materialized in each worker by the pool initializer.
+_WORKER_GRAPH: BipartiteGraph | None = None
+_WORKER_RANK: list[int] | None = None
+_WORKER_ALGO: MBET | None = None
+
+
+def _init_worker(graph: BipartiteGraph, rank: list[int], algo_options: dict) -> None:
+    global _WORKER_GRAPH, _WORKER_RANK, _WORKER_ALGO
+    _WORKER_GRAPH = graph
+    _WORKER_RANK = rank
+    _WORKER_ALGO = MBET(**algo_options)
+
+
+def _run_task(task: tuple[int, int, int], collect: bool):
+    """Execute root-slice ``(v, part, n_parts)``; returns (count, stats, bicliques)."""
+    v, part, n_parts = task
+    graph, rank, algo = _WORKER_GRAPH, _WORKER_RANK, _WORKER_ALGO
+    assert graph is not None and rank is not None and algo is not None
+    stats = EnumerationStats()
+    results: list[Biclique] = []
+    count = 0
+
+    def report(left, right):
+        nonlocal count
+        count += 1
+        if collect:
+            results.append(Biclique.make(left, right))
+
+    sub = build_subproblem(graph, v, rank)
+    if sub is not None and algo._accept_subproblem(sub, stats):
+        stats.subtrees += 1
+        if n_parts == 1:
+            algo._run_subproblem(sub, report, stats)
+        else:
+            _run_root_slice(algo, sub, part, n_parts, report, stats)
+    return count, stats.as_dict(), results if collect else None
+
+
+def _run_root_slice(algo: MBET, sub, part: int, n_parts: int, report, stats) -> None:
+    """Run one slice of a subproblem's root loop (see module docstring)."""
+    from repro.core.mbet import _TrieQ
+
+    space = sub.space
+    store = _TrieQ(algo.trie_max_nodes)
+    for sig in sub.traversed:
+        store.insert(sig)
+    pairs = [(mask, (w,)) for w, mask in sub.cands]
+    groups = algo._group(pairs, stats)
+    n = len(groups)
+    lo = part * n // n_parts
+    hi = (part + 1) * n // n_parts
+    if part == 0:
+        # exactly one slice reports the subtree's root biclique
+        report(space.universe, sub.right)
+    if lo >= hi:
+        return
+    # Earlier root branches act as already-traversed for this slice; later
+    # groups stay in the pool (they absorb and filter) but do not branch.
+    for mask, _verts in groups[:lo]:
+        store.insert(mask)
+    algo._search(
+        tuple(sub.right),
+        groups[lo:],
+        store,
+        space,
+        report,
+        stats,
+        branch_limit=hi - lo,
+    )
+
+
+@register
+class ParallelMBE(MBEAlgorithm):
+    """Process-pool parallel MBET with load-aware task splitting."""
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        order: str = "degree",
+        bound_height: int = 8,
+        bound_size: int = 256,
+        orient_smaller_v: bool = False,
+        seed: int = 0,
+    ):
+        super().__init__(orient_smaller_v=orient_smaller_v)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if bound_height < 1 or bound_size < 1:
+            raise ValueError("split bounds must be positive")
+        self.workers = workers
+        self.order = order
+        self.bound_height = bound_height
+        self.bound_size = bound_size
+        self.seed = seed
+
+    # The framework hook is unused: run() is overridden wholesale because
+    # results arrive from workers, not from an in-process tree walk.
+    def _enumerate(self, graph, report, stats):  # pragma: no cover
+        raise NotImplementedError("ParallelMBE drives its own run()")
+
+    def _make_tasks(self, graph: BipartiteGraph) -> list[tuple[int, int, int]]:
+        """Build root-slice tasks, largest estimated subtree first."""
+        order = vertex_order(graph, self.order, seed=self.seed)
+        estimated: list[tuple[int, int, int]] = []  # (estimate, height, v)
+        for v in order:
+            deg = graph.degree_v(v)
+            if deg == 0:
+                continue
+            if deg * deg > self.bound_size:
+                # Possibly large: refine the estimate with the true 2-hop
+                # count (the candidate-set bound of the subtree root).
+                n2 = len(graph.two_hop_v(v))
+                height = min(deg, n2)
+                estimate = height * n2
+            else:
+                height = deg
+                estimate = deg * deg
+            estimated.append((estimate, height, v))
+        tasks: list[tuple[int, int, int, int]] = []  # (estimate, v, part, n_parts)
+        for estimate, height, v in estimated:
+            if height > self.bound_height and estimate > self.bound_size:
+                n_parts = min(4 * self.workers, 1 + estimate // self.bound_size)
+                share = max(1, estimate // n_parts)
+                tasks.extend((share, v, part, n_parts) for part in range(n_parts))
+            else:
+                tasks.append((estimate, v, 0, 1))
+        tasks.sort(key=lambda t: (-t[0], t[1], t[2]))
+        return [(v, part, n_parts) for _, v, part, n_parts in tasks]
+
+    def run(
+        self,
+        graph: BipartiteGraph,
+        collect: bool = True,
+        limits: EnumerationLimits | None = None,
+    ) -> MBEResult:
+        """Enumerate in parallel; limits are unsupported (whole-run semantics)."""
+        import time
+
+        if limits is not None and (
+            limits.max_bicliques is not None or limits.time_limit is not None
+        ):
+            raise NotImplementedError(
+                "ParallelMBE does not support enumeration limits"
+            )
+        work_graph, swapped = (
+            graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
+        )
+        algo_options = {"order": self.order, "seed": self.seed}
+        rank = rank_of(vertex_order(work_graph, self.order, seed=self.seed))
+        tasks = self._make_tasks(work_graph)
+
+        stats = EnumerationStats()
+        bicliques: list[Biclique] = []
+        count = 0
+        start = time.perf_counter()
+        if self.workers == 1:
+            _init_worker(work_graph, rank, algo_options)
+            outcomes = [_run_task(task, collect) for task in tasks]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(work_graph, rank, algo_options),
+            ) as pool:
+                futures = [pool.submit(_run_task, task, collect) for task in tasks]
+                outcomes = [f.result() for f in futures]
+        for task_count, stats_dict, task_bicliques in outcomes:
+            count += task_count
+            part = EnumerationStats()
+            for key, value in stats_dict.items():
+                setattr(part, key, value)
+            stats.merge(part)
+            if collect and task_bicliques:
+                bicliques.extend(task_bicliques)
+        elapsed = time.perf_counter() - start
+        stats.maximal = count
+        if collect and swapped:
+            bicliques = [b.swap() for b in bicliques]
+        return MBEResult(
+            algorithm=self.name,
+            count=count,
+            elapsed=elapsed,
+            stats=stats,
+            bicliques=bicliques if collect else None,
+            complete=True,
+            meta={"workers": self.workers, "tasks": len(tasks)},
+        )

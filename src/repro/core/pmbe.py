@@ -1,0 +1,121 @@
+"""Pivot-based maximal biclique enumeration (PMBE baseline).
+
+Implements the pivoting idea of Abidi et al. (IJCAI 2020): at every
+enumeration node pick the candidate ``p*`` with the largest local
+neighbourhood ``N(p*) ∩ L`` and branch on it first.  Any other candidate
+``x`` whose local neighbourhood is contained in ``p*``'s can never head a
+maximal biclique that excludes ``p*`` — if ``x`` is in a maximal biclique,
+its left side fits inside ``N(p*) ∩ L``, forcing ``p*`` in by maximality —
+so ``x``'s own branch is pruned outright.  Pruned candidates stay available
+inside the pivot branch (where bicliques containing them live) and join the
+traversed set afterwards, keeping duplicate filtering exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.ordering import vertex_order
+from repro.core.base import EnumerationStats, MBEAlgorithm, register
+
+
+@register
+class PMBE(MBEAlgorithm):
+    """Pivot-pruned set-enumeration MBE."""
+
+    name = "pmbe"
+
+    def __init__(self, order: str = "degree", orient_smaller_v: bool = False):
+        super().__init__(orient_smaller_v=orient_smaller_v)
+        self.order = order
+
+    def _enumerate(
+        self,
+        graph: BipartiteGraph,
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+    ) -> None:
+        all_u = frozenset(range(graph.n_u))
+        cands = [v for v in vertex_order(graph, self.order) if graph.degree_v(v) > 0]
+        if not cands or not all_u:
+            return
+        self._search(graph, all_u, (), cands, [], report, stats)
+
+    def _search(
+        self,
+        graph: BipartiteGraph,
+        left: frozenset[int],
+        right: tuple[int, ...],
+        cands: list[int],
+        traversed: list[int],
+        report: Callable[[Sequence[int], Sequence[int]], None],
+        stats: EnumerationStats,
+    ) -> None:
+        stats.nodes += 1
+        local = {w: left & graph.neighbors_v_set(w) for w in cands}
+        stats.intersections += len(cands)
+
+        pivot = max(cands, key=lambda w: (len(local[w]), -w))
+        pivot_nl = local[pivot]
+        pruned: list[int] = []
+        branchers: list[int] = [pivot]
+        for w in cands:
+            if w == pivot:
+                continue
+            if local[w] <= pivot_nl:
+                pruned.append(w)
+            else:
+                branchers.append(w)
+        stats.merged_candidates += len(pruned)
+
+        q = list(traversed)
+        for idx, x in enumerate(branchers):
+            new_left = local[x]
+            size_l = len(new_left)
+            maximal = True
+            next_q: list[int] = []
+            for t in q:
+                stats.checks += 1
+                common = len(new_left & graph.neighbors_v_set(t))
+                if common == size_l:
+                    maximal = False
+                    break
+                if common:
+                    next_q.append(t)
+            if maximal:
+                # Pool of still-expandable candidates for this branch: the
+                # pivot branch keeps the pruned candidates (bicliques through
+                # them contain the pivot and live here); later branches only
+                # see the branchers after them.
+                pool = pruned + branchers[1:] if idx == 0 else branchers[idx + 1 :]
+                new_right = list(right)
+                new_right.append(x)
+                next_cands: list[int] = []
+                for w in pool:
+                    stats.intersections += 1
+                    common = len(new_left & local[w])
+                    if common == size_l:
+                        new_right.append(w)
+                    elif common:
+                        next_cands.append(w)
+                new_right.sort()
+                report(sorted(new_left), new_right)
+                if next_cands:
+                    self._search(
+                        graph,
+                        new_left,
+                        tuple(new_right),
+                        next_cands,
+                        next_q,
+                        report,
+                        stats,
+                    )
+            else:
+                stats.non_maximal += 1
+            q.append(x)
+            if idx == 0:
+                # After the pivot branch the contained candidates behave as
+                # traversed: every maximal biclique through them includes
+                # the pivot and was enumerated above.
+                q.extend(pruned)

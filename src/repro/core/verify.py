@@ -1,0 +1,80 @@
+"""Result verification: the invariants every algorithm must satisfy.
+
+Used by the test suite (including the hypothesis agreement properties) and
+available to library users who want to audit a result set against its
+graph.  All checks are definitional — no shortcuts shared with the
+algorithms under test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.base import Biclique
+
+
+def is_biclique(
+    graph: BipartiteGraph, left: Sequence[int], right: Sequence[int]
+) -> bool:
+    """True when both sides are non-empty and every cross pair is an edge."""
+    if not left or not right:
+        return False
+    return all(graph.has_edge(u, v) for u in left for v in right)
+
+
+def is_maximal_biclique(
+    graph: BipartiteGraph, left: Sequence[int], right: Sequence[int]
+) -> bool:
+    """True for a biclique no vertex on either side can extend.
+
+    Checks the closure characterization: ``L = C(R)`` and ``R = C(L)``.
+    """
+    if not is_biclique(graph, left, right):
+        return False
+    left_set = set(left)
+    right_set = set(right)
+    closed_left = set(graph.common_neighbors_of_vs(sorted(right_set)))
+    if closed_left != left_set:
+        return False
+    closed_right = set(graph.common_neighbors_of_us(sorted(left_set)))
+    return closed_right == right_set
+
+
+class VerificationError(AssertionError):
+    """Raised by :func:`verify_result` with a description of the violation."""
+
+
+def verify_result(
+    graph: BipartiteGraph,
+    bicliques: Iterable[Biclique],
+    expected: Iterable[Biclique] | None = None,
+) -> int:
+    """Audit a result set; return the number of bicliques verified.
+
+    Raises :class:`VerificationError` on the first violation: a duplicate,
+    a non-biclique, a non-maximal biclique, or (when ``expected`` is given)
+    any mismatch with the expected canonical set.
+    """
+    seen: set[Biclique] = set()
+    for b in bicliques:
+        if b in seen:
+            raise VerificationError(f"duplicate biclique {b}")
+        seen.add(b)
+        if tuple(sorted(b.left)) != b.left or tuple(sorted(b.right)) != b.right:
+            raise VerificationError(f"non-canonical biclique {b}")
+        if not is_biclique(graph, b.left, b.right):
+            raise VerificationError(f"not a biclique: {b}")
+        if not is_maximal_biclique(graph, b.left, b.right):
+            raise VerificationError(f"not maximal: {b}")
+    if expected is not None:
+        expected_set = set(expected)
+        if seen != expected_set:
+            missing = expected_set - seen
+            extra = seen - expected_set
+            raise VerificationError(
+                f"result mismatch: {len(missing)} missing "
+                f"(e.g. {sorted(missing)[:3]}), {len(extra)} unexpected "
+                f"(e.g. {sorted(extra)[:3]})"
+            )
+    return len(seen)

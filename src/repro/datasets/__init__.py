@@ -1,0 +1,31 @@
+"""The dataset zoo: deterministic stand-ins for the literature's benchmarks.
+
+The MBE literature evaluates on a standard roster of public bipartite
+datasets (MovieLens, Amazon, Teams, ActorMovies, Wikipedia, YouTube,
+StackOverflow, DBLP, IMDB, EuAll, BookCrossing, Github, TVTropes).  This
+offline environment cannot download them, so each dataset has a synthetic
+stand-in that preserves what actually drives MBE cost — the side-size
+ratio, the degree skew, and the (relative) maximal-biclique density — at
+roughly 1/100 scale.  The zoo keeps the roster's ordering by maximal
+biclique count, so "small datasets" and "large datasets" mean the same
+thing here as in the papers.
+
+Every stand-in is deterministic (fixed seed) and carries the reference
+shape of the public dataset it models, so the substitution is auditable.
+
+>>> from repro.datasets import load, names
+>>> graph = load("mti")
+>>> graph.n_edges > 0
+True
+"""
+
+from repro.datasets.zoo import (
+    DATASETS,
+    DatasetSpec,
+    large_names,
+    load,
+    names,
+    spec,
+)
+
+__all__ = ["DATASETS", "DatasetSpec", "large_names", "load", "names", "spec"]

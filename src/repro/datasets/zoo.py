@@ -1,0 +1,240 @@
+"""Definitions of the synthetic stand-in datasets.
+
+Each :class:`DatasetSpec` names the public dataset it models, records that
+dataset's published shape (side sizes and edge count) for auditability, and
+carries a deterministic generator recipe.  Recipes combine two mechanisms:
+
+* ``powerlaw`` — a weighted configuration model reproducing hub-dominated
+  degree skew (most real datasets' regime), and
+* ``planted`` — overlapping complete blocks plus noise, reproducing the
+  community-dense regime of the biclique-rich datasets (DBLP, Github,
+  TVTropes).
+
+The measured maximal-biclique counts (recorded per spec after calibration,
+see ``approx_bicliques``) ascend through the roster as they do in the
+papers' dataset tables; ``large_names()`` returns the rear half, the
+"large datasets" of the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bigraph.generators import planted_bicliques, powerlaw_bipartite
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.builder import GraphBuilder
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One zoo dataset: provenance, reference shape, and generator recipe."""
+
+    key: str
+    models: str  # public dataset this stand-in reproduces the shape of
+    reference_shape: tuple[int, int, int]  # published (|U|, |V|, |E|)
+    kind: str  # "powerlaw", "planted", or "mixed"
+    params: dict = field(default_factory=dict)
+    approx_bicliques: int = 0  # measured on the stand-in (calibration run)
+    seed: int = 0
+
+    def build(self) -> BipartiteGraph:
+        """Generate the stand-in graph (deterministic in the spec)."""
+        p = self.params
+        if self.kind == "powerlaw":
+            return powerlaw_bipartite(
+                p["n_u"], p["n_v"], p["n_edges"], p["exponent"], seed=self.seed
+            )
+        if self.kind == "planted":
+            return planted_bicliques(
+                p["n_u"],
+                p["n_v"],
+                p["n_blocks"],
+                p["block_u"],
+                p["block_v"],
+                p.get("noise_edges", 0),
+                seed=self.seed,
+            )
+        if self.kind == "mixed":
+            base = planted_bicliques(
+                p["n_u"],
+                p["n_v"],
+                p["n_blocks"],
+                p["block_u"],
+                p["block_v"],
+                0,
+                seed=self.seed,
+            )
+            hubs = powerlaw_bipartite(
+                p["n_u"], p["n_v"], p["noise_edges"], p["exponent"], seed=self.seed + 1
+            )
+            builder = GraphBuilder()
+            builder.add_edges(base.edges())
+            builder.add_edges(hubs.edges())
+            return builder.build(n_u=p["n_u"], n_v=p["n_v"])
+        raise ValueError(f"unknown dataset kind {self.kind!r}")
+
+
+def _specs() -> list[DatasetSpec]:
+    return [
+        DatasetSpec(
+            key="mti",
+            models="MovieLens (Mti)",
+            reference_shape=(16_528, 7_601, 71_154),
+            kind="powerlaw",
+            params=dict(n_u=1650, n_v=760, n_edges=3500, exponent=2.2),
+            approx_bicliques=2_341,
+            seed=11,
+        ),
+        DatasetSpec(
+            key="wa",
+            models="Amazon (WA)",
+            reference_shape=(265_934, 264_148, 925_873),
+            kind="powerlaw",
+            params=dict(n_u=2660, n_v=2620, n_edges=7800, exponent=2.4),
+            approx_bicliques=4_756,
+            seed=12,
+        ),
+        DatasetSpec(
+            key="tm",
+            models="Teams (TM)",
+            reference_shape=(901_130, 34_461, 1_366_466),
+            kind="powerlaw",
+            params=dict(n_u=9000, n_v=345, n_edges=9000, exponent=2.3),
+            approx_bicliques=7_845,
+            seed=13,
+        ),
+        DatasetSpec(
+            key="am",
+            models="ActorMovies (AM)",
+            reference_shape=(383_640, 127_823, 1_470_404),
+            kind="powerlaw",
+            params=dict(n_u=3840, n_v=1280, n_edges=10400, exponent=2.2),
+            approx_bicliques=12_158,
+            seed=14,
+        ),
+        DatasetSpec(
+            key="wc",
+            models="Wikipedia (WC)",
+            reference_shape=(1_853_493, 182_947, 3_795_796),
+            kind="powerlaw",
+            params=dict(n_u=9260, n_v=915, n_edges=13800, exponent=2.3),
+            approx_bicliques=12_767,
+            seed=15,
+        ),
+        DatasetSpec(
+            key="yg",
+            models="YouTube (YG)",
+            reference_shape=(94_238, 30_087, 293_360),
+            kind="powerlaw",
+            params=dict(n_u=940, n_v=300, n_edges=10500, exponent=1.9),
+            approx_bicliques=13_848,
+            seed=16,
+        ),
+        DatasetSpec(
+            key="so",
+            models="StackOverflow (SO)",
+            reference_shape=(545_195, 96_680, 1_301_942),
+            kind="powerlaw",
+            params=dict(n_u=2720, n_v=485, n_edges=13000, exponent=1.9),
+            approx_bicliques=15_982,
+            seed=17,
+        ),
+        DatasetSpec(
+            key="pa",
+            models="DBLP (Pa)",
+            reference_shape=(5_624_219, 1_953_085, 12_282_059),
+            kind="planted",
+            params=dict(
+                n_u=5620, n_v=1950, n_blocks=3000, block_u=(2, 6), block_v=(2, 5),
+                noise_edges=2500,
+            ),
+            approx_bicliques=17_936,
+            seed=18,
+        ),
+        DatasetSpec(
+            key="im",
+            models="IMDB (IM)",
+            reference_shape=(896_302, 303_617, 3_782_463),
+            kind="powerlaw",
+            params=dict(n_u=4480, n_v=1520, n_edges=13000, exponent=2.0),
+            approx_bicliques=19_992,
+            seed=19,
+        ),
+        DatasetSpec(
+            key="ee",
+            models="EuAll (EE)",
+            reference_shape=(225_409, 74_661, 420_046),
+            kind="powerlaw",
+            params=dict(n_u=1130, n_v=375, n_edges=30000, exponent=1.75),
+            approx_bicliques=20_853,
+            seed=20,
+        ),
+        DatasetSpec(
+            key="bx",
+            models="BookCrossing (BX)",
+            reference_shape=(340_523, 105_278, 1_149_739),
+            kind="powerlaw",
+            params=dict(n_u=1700, n_v=525, n_edges=45000, exponent=1.7),
+            approx_bicliques=23_833,
+            seed=21,
+        ),
+        DatasetSpec(
+            key="gh",
+            models="Github (GH)",
+            reference_shape=(120_867, 59_519, 440_237),
+            kind="mixed",
+            params=dict(
+                n_u=1200, n_v=595, n_blocks=900, block_u=(2, 7), block_v=(2, 7),
+                noise_edges=3500, exponent=1.9,
+            ),
+            approx_bicliques=56_963,
+            seed=22,
+        ),
+        DatasetSpec(
+            key="dbt",
+            models="TVTropes (DBT)",
+            reference_shape=(87_678, 64_415, 3_232_134),
+            kind="mixed",
+            params=dict(
+                n_u=880, n_v=645, n_blocks=600, block_u=(3, 9), block_v=(3, 9),
+                noise_edges=3200, exponent=1.8,
+            ),
+            approx_bicliques=114_245,
+            seed=23,
+        ),
+    ]
+
+
+#: ordered registry: roster order == ascending maximal-biclique count
+DATASETS: dict[str, DatasetSpec] = {s.key: s for s in _specs()}
+
+_CACHE: dict[str, BipartiteGraph] = {}
+
+
+def names() -> list[str]:
+    """All dataset keys, in roster (ascending biclique count) order."""
+    return list(DATASETS)
+
+
+def large_names() -> list[str]:
+    """The 'large datasets' (rear half of the roster, biclique-rich)."""
+    keys = names()
+    return keys[len(keys) // 2 :]
+
+
+def spec(name: str) -> DatasetSpec:
+    """Return the spec for ``name`` (ValueError on unknown keys)."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; available: {names()}") from None
+
+
+def load(name: str, cache: bool = True) -> BipartiteGraph:
+    """Build (or fetch from the in-process cache) the stand-in graph."""
+    if cache and name in _CACHE:
+        return _CACHE[name]
+    graph = spec(name).build()
+    if cache:
+        _CACHE[name] = graph
+    return graph

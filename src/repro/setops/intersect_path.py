@@ -1,0 +1,109 @@
+"""Merge-path ("intersect path") partitioned set union.
+
+The GPU algorithms descending from the prefix-tree MBE line compute 2-hop
+neighbourhoods with a warp-cooperative set union: the union of two sorted
+arrays is viewed as a monotone path through the |A| x |B| merge grid, the
+path is cut into equal-length diagonal ranges, and each lane (GPU thread)
+independently finds its entry point with a binary search and emits its slice
+of the output.  The partitioning logic is a pure algorithm; this module
+implements it exactly, with Python loops standing in for hardware lanes.
+
+Determinism contract: the global merge order is fixed by the tie rule
+"on equal heads consume A first".  Under that rule the merge path is unique,
+so every diagonal split point is well defined and each lane's output depends
+only on (A, B, its diagonal range) — which is what makes the GPU version
+race-free and what the property tests verify here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _diagonal_split(a: Sequence[int], b: Sequence[int], diagonal: int) -> tuple[int, int]:
+    """Return the merge-path crossing (x, y) of ``diagonal`` (x + y == d).
+
+    The crossing is the unique point such that the first ``d`` consumed
+    elements are exactly A[:x] and B[:y] under the A-first tie rule:
+
+    * every consumed A element precedes every unconsumed B element
+      (``A[x-1] <= B[y]``), and
+    * every consumed B element strictly precedes every unconsumed A element
+      (``B[y-1] < A[x]``).
+    """
+    n, m = len(a), len(b)
+    lo = max(0, diagonal - m)
+    hi = min(diagonal, n)
+    while lo < hi:
+        x = (lo + hi) // 2
+        y = diagonal - x
+        if x < n and y > 0 and b[y - 1] >= a[x]:
+            lo = x + 1  # too few A consumed
+        elif x > 0 and y < m and a[x - 1] > b[y]:
+            hi = x  # too many A consumed
+        else:
+            return x, y
+    return lo, diagonal - lo
+
+
+def merge_path_partitions(
+    a: Sequence[int], b: Sequence[int], lanes: int
+) -> list[tuple[int, int]]:
+    """Return ``lanes + 1`` split points cutting the merge path evenly.
+
+    Point ``k`` is the (x, y) crossing of diagonal ``ceil(k * (n+m) / lanes)``;
+    lane ``k`` owns the path segment between points ``k`` and ``k + 1``.
+    """
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    total = len(a) + len(b)
+    points: list[tuple[int, int]] = []
+    for k in range(lanes + 1):
+        diagonal = (k * total + lanes - 1) // lanes if k else 0
+        diagonal = min(diagonal, total)
+        points.append(_diagonal_split(a, b, diagonal))
+    return points
+
+
+def _lane_union(
+    a: Sequence[int],
+    b: Sequence[int],
+    start: tuple[int, int],
+    stop: tuple[int, int],
+) -> list[int]:
+    """Emit the union output produced by one lane's merge-path segment.
+
+    Walks the global merge from ``start`` to ``stop`` under the A-first tie
+    rule.  A B-element equal to an A-element is suppressed; because the tie
+    rule places the equal A-element immediately before it on the *global*
+    path, the suppression test ``a[x-1] == b[y]`` is correct even when the
+    A-element was emitted by the previous lane.
+    """
+    x, y = start
+    stop_d = stop[0] + stop[1]
+    n, m = len(a), len(b)
+    out: list[int] = []
+    append = out.append
+    while x + y < stop_d:
+        if y >= m or (x < n and a[x] <= b[y]):
+            append(a[x])
+            x += 1
+        else:
+            if x == 0 or a[x - 1] != b[y]:
+                append(b[y])
+            y += 1
+    return out
+
+
+def partitioned_union(a: Sequence[int], b: Sequence[int], lanes: int = 4) -> list[int]:
+    """Return sorted ``set(a) | set(b)`` computed by independent lanes.
+
+    Inputs must be sorted and internally duplicate-free (adjacency rows
+    are).  Equivalent to :func:`repro.setops.sorted_ops.union`; exists to
+    model — and test — the warp-cooperative union's partitioning scheme.
+    """
+    points = merge_path_partitions(a, b, lanes)
+    out: list[int] = []
+    for k in range(lanes):
+        out.extend(_lane_union(a, b, points[k], points[k + 1]))
+    return out

@@ -1,0 +1,21 @@
+"""Maximal-biclique maintenance under edge insertions and deletions.
+
+The batch algorithms re-enumerate from scratch; real bipartite networks
+(purchases, ratings) change continuously, and the literature's follow-up
+line (biclique maintenance in graph streams) updates the maximal-biclique
+set *locally* per edge update.  :class:`~repro.streaming.dynamic.DynamicMBE`
+implements that maintenance:
+
+* inserting ``(u, v)`` creates exactly the maximal bicliques of the
+  subgraph induced by ``N(v) x N(u)`` that contain both endpoints, and
+  kills the previously-maximal bicliques the new edge extends;
+* deleting ``(u, v)`` kills the bicliques using the edge, and each such
+  biclique leaves behind up to two closures (drop ``u`` or drop ``v``)
+  that may become newly maximal.
+
+Every update is property-tested against from-scratch re-enumeration.
+"""
+
+from repro.streaming.dynamic import DynamicMBE, UpdateResult
+
+__all__ = ["DynamicMBE", "UpdateResult"]

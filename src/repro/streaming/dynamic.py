@@ -1,0 +1,249 @@
+"""Incremental maintenance of the maximal-biclique set.
+
+Correctness arguments (the tests enforce both against re-enumeration):
+
+*Insertion of (u, v).*  A biclique not using the new edge cannot gain
+maximality (insertions only add extension opportunities), so the removed
+set is exactly the previously-maximal bicliques the new edge extends:
+those with ``u ∈ L`` whose left side is now covered by ``v`` (and the
+symmetric case).  Every *new* maximal biclique must use the new edge, so
+``u ∈ L ⊆ N(v)`` and ``v ∈ R ⊆ N(u)``; within that box the closure
+operators of the induced subgraph ``H = G[N(v), N(u)]`` agree with the
+global ones, so the new bicliques are exactly the maximal bicliques of
+``H`` containing both endpoints.
+
+*Deletion of (u, v).*  Bicliques using the edge die.  A biclique that
+becomes newly maximal was previously extendable only through dead
+bicliques; following any extension chain upward lands on a dead biclique
+``B``, and the new biclique equals the closure of ``(L_B - {u}, R_B)`` or
+``(L_B, R_B - {v})``.  Closing both candidates of every dead biclique
+therefore recovers every newly-maximal biclique (with de-duplication, as
+different dead bicliques may close to the same survivor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.base import Biclique
+from repro.core.mbet import MBET
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one edge update."""
+
+    added: list[Biclique] = field(default_factory=list)
+    removed: list[Biclique] = field(default_factory=list)
+
+    @property
+    def net(self) -> int:
+        """Net change in the number of maximal bicliques."""
+        return len(self.added) - len(self.removed)
+
+
+class DynamicMBE:
+    """Maintains the exact maximal-biclique set under edge updates.
+
+    >>> d = DynamicMBE()
+    >>> d.insert_edge(0, 0).added
+    [Biclique(left=(0,), right=(0,))]
+    >>> len(d.bicliques)
+    1
+    """
+
+    def __init__(self, graph: BipartiteGraph | None = None):
+        self._adj_u: dict[int, set[int]] = {}
+        self._adj_v: dict[int, set[int]] = {}
+        self._bicliques: set[Biclique] = set()
+        self._left_index: dict[int, set[Biclique]] = {}
+        self._right_index: dict[int, set[Biclique]] = {}
+        self._n_edges = 0
+        if graph is not None:
+            for u, v in graph.edges():
+                self._adj_u.setdefault(u, set()).add(v)
+                self._adj_v.setdefault(v, set()).add(u)
+                self._n_edges += 1
+            for b in MBET().run(graph).bicliques or ():
+                self._register(b)
+
+    # -- state access --------------------------------------------------------
+
+    @property
+    def bicliques(self) -> frozenset[Biclique]:
+        """The current maximal-biclique set."""
+        return frozenset(self._bicliques)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges currently in the maintained graph."""
+        return self._n_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True when ``(u, v)`` is currently an edge."""
+        return v in self._adj_u.get(u, ())
+
+    def as_graph(self) -> BipartiteGraph:
+        """Snapshot the maintained graph as an immutable BipartiteGraph."""
+        edges = [(u, v) for u, vs in self._adj_u.items() for v in vs]
+        n_u = max(self._adj_u, default=-1) + 1
+        n_v = max(self._adj_v, default=-1) + 1
+        return BipartiteGraph(sorted(edges), n_u=n_u, n_v=n_v)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _register(self, b: Biclique) -> None:
+        self._bicliques.add(b)
+        for u in b.left:
+            self._left_index.setdefault(u, set()).add(b)
+        for v in b.right:
+            self._right_index.setdefault(v, set()).add(b)
+
+    def _unregister(self, b: Biclique) -> None:
+        self._bicliques.remove(b)
+        for u in b.left:
+            self._left_index[u].discard(b)
+        for v in b.right:
+            self._right_index[v].discard(b)
+
+    def _close_left(self, left: set[int]) -> Biclique | None:
+        """Close a non-empty left set to its maximal biclique, if any."""
+        right: set[int] | None = None
+        for u in left:
+            vs = self._adj_u.get(u, set())
+            right = set(vs) if right is None else right & vs
+            if not right:
+                return None
+        assert right is not None
+        full_left: set[int] | None = None
+        for v in right:
+            us = self._adj_v[v]
+            full_left = set(us) if full_left is None else full_left & us
+        assert full_left is not None and left <= full_left
+        return Biclique.make(full_left, right)
+
+    def _close_right(self, right: set[int]) -> Biclique | None:
+        """Close a non-empty right set to its maximal biclique, if any."""
+        left: set[int] | None = None
+        for v in right:
+            us = self._adj_v.get(v, set())
+            left = set(us) if left is None else left & us
+            if not left:
+                return None
+        assert left is not None
+        full_right: set[int] | None = None
+        for u in left:
+            vs = self._adj_u[u]
+            full_right = set(vs) if full_right is None else full_right & vs
+        assert full_right is not None and right <= full_right
+        return Biclique.make(left, full_right)
+
+    # -- updates ------------------------------------------------------------------
+
+    def insert_edge(self, u: int, v: int) -> UpdateResult:
+        """Add edge ``(u, v)`` and update the biclique set locally."""
+        if u < 0 or v < 0:
+            raise ValueError("vertex ids must be non-negative")
+        if self.has_edge(u, v):
+            raise ValueError(f"edge ({u}, {v}) already present")
+        self._adj_u.setdefault(u, set()).add(v)
+        self._adj_v.setdefault(v, set()).add(u)
+        self._n_edges += 1
+
+        result = UpdateResult()
+
+        # Kill bicliques the new edge extends.
+        n_v_set = self._adj_v[v]
+        n_u_set = self._adj_u[u]
+        doomed: list[Biclique] = []
+        for b in self._left_index.get(u, ()):  # u ∈ L, can v join R?
+            if v not in b.right and all(x in n_v_set for x in b.left):
+                doomed.append(b)
+        for b in self._right_index.get(v, ()):  # v ∈ R, can u join L?
+            if u not in b.left and all(y in n_u_set for y in b.right):
+                doomed.append(b)
+        for b in doomed:
+            self._unregister(b)
+            result.removed.append(b)
+
+        # New bicliques: maximal bicliques of G[N(v), N(u)] through (u, v).
+        us = sorted(n_v_set)
+        vs = sorted(n_u_set)
+        u_pos = {x: i for i, x in enumerate(us)}
+        v_pos = {y: j for j, y in enumerate(vs)}
+        edges = [
+            (u_pos[x], v_pos[y])
+            for x in us
+            for y in self._adj_u[x]
+            if y in v_pos
+        ]
+        sub = BipartiteGraph(edges, n_u=len(us), n_v=len(vs))
+        for b in MBET().run(sub).bicliques or ():
+            if u_pos[u] in b.left and v_pos[v] in b.right:
+                mapped = Biclique.make(
+                    (us[i] for i in b.left), (vs[j] for j in b.right)
+                )
+                self._register(mapped)
+                result.added.append(mapped)
+        return result
+
+    def apply(self, events) -> UpdateResult:
+        """Apply a batch of ``("+"|"-", u, v)`` events; returns the net
+        update (bicliques created and destroyed across the whole batch,
+        with transients that appeared and disappeared inside it cancelled
+        out).
+
+        Unknown operations raise ValueError; duplicate inserts and missing
+        deletes raise like their single-edge counterparts, leaving earlier
+        events of the batch applied.
+        """
+        net_added: set[Biclique] = set()
+        net_removed: set[Biclique] = set()
+        for op, u, v in events:
+            if op == "+":
+                result = self.insert_edge(u, v)
+            elif op == "-":
+                result = self.delete_edge(u, v)
+            else:
+                raise ValueError(f"unknown stream operation {op!r}")
+            for b in result.added:
+                if b in net_removed:
+                    net_removed.discard(b)
+                else:
+                    net_added.add(b)
+            for b in result.removed:
+                if b in net_added:
+                    net_added.discard(b)
+                else:
+                    net_removed.add(b)
+        return UpdateResult(added=sorted(net_added), removed=sorted(net_removed))
+
+    def delete_edge(self, u: int, v: int) -> UpdateResult:
+        """Remove edge ``(u, v)`` and update the biclique set locally."""
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u}, {v}) is not present")
+        self._adj_u[u].discard(v)
+        self._adj_v[v].discard(u)
+        if not self._adj_u[u]:
+            del self._adj_u[u]
+        if not self._adj_v[v]:
+            del self._adj_v[v]
+        self._n_edges -= 1
+
+        result = UpdateResult()
+        doomed = [b for b in self._left_index.get(u, ()) if v in b.right]
+        for b in doomed:
+            self._unregister(b)
+            result.removed.append(b)
+
+        # Each dead biclique leaves up to two closures behind.
+        for b in doomed:
+            for candidate in (
+                self._close_left(set(b.left) - {u}) if len(b.left) > 1 else None,
+                self._close_right(set(b.right) - {v}) if len(b.right) > 1 else None,
+            ):
+                if candidate is not None and candidate not in self._bicliques:
+                    self._register(candidate)
+                    result.added.append(candidate)
+        return result

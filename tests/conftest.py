@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite.
+
+``g0`` is the worked example graph of this paper lineage (Fig. 1 of the
+set-enumeration exposition): |U| = 5, |V| = 4, six maximal bicliques.  The
+``random_bigraph`` helper and the hypothesis strategies in
+``tests/strategies.py`` generate the adversarial small graphs the agreement
+properties run on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import BipartiteGraph, Biclique
+
+#: All registered exact algorithms that must agree with brute force.
+EXACT_ALGORITHMS = (
+    "naive", "mbea", "imbea", "pmbe", "oombea", "mbet", "mbet_iter", "mbet_vec", "mbetm"
+)
+
+
+def make_g0() -> BipartiteGraph:
+    """The literature's running example G0 (0-indexed)."""
+    edges = [
+        (0, 0), (1, 0),                    # v0: {u0, u1}
+        (0, 1), (1, 1), (2, 1), (3, 1),    # v1: {u0, u1, u2, u3}
+        (0, 2), (1, 2), (3, 2),            # v2: {u0, u1, u3}
+        (1, 3), (3, 3), (4, 3),            # v3: {u1, u3, u4}
+    ]
+    return BipartiteGraph(edges, n_u=5, n_v=4)
+
+
+#: The six maximal bicliques of G0, as enumerated in the exposition.
+G0_MAXIMAL = frozenset(
+    {
+        Biclique.make([0, 1], [0, 1, 2]),
+        Biclique.make([1], [0, 1, 2, 3]),
+        Biclique.make([0, 1, 2, 3], [1]),
+        Biclique.make([0, 1, 3], [1, 2]),
+        Biclique.make([1, 3], [1, 2, 3]),
+        Biclique.make([1, 3, 4], [3]),
+    }
+)
+
+
+@pytest.fixture
+def g0() -> BipartiteGraph:
+    return make_g0()
+
+
+def random_bigraph(
+    rng: random.Random, max_side: int = 8, p: float | None = None
+) -> BipartiteGraph:
+    """A uniform random bipartite graph small enough for brute force."""
+    n_u = rng.randint(1, max_side)
+    n_v = rng.randint(1, max_side)
+    prob = p if p is not None else rng.choice([0.15, 0.3, 0.5, 0.7])
+    edges = [
+        (u, v) for u in range(n_u) for v in range(n_v) if rng.random() < prob
+    ]
+    return BipartiteGraph(edges, n_u=n_u, n_v=n_v)

@@ -1,0 +1,40 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import BipartiteGraph
+
+
+@st.composite
+def sorted_unique_ints(draw, max_size: int = 60, max_value: int = 200) -> list[int]:
+    """A sorted, duplicate-free list of small non-negative ints."""
+    values = draw(
+        st.lists(st.integers(0, max_value), max_size=max_size, unique=True)
+    )
+    return sorted(values)
+
+
+@st.composite
+def bipartite_graphs(draw, max_u: int = 8, max_v: int = 8) -> BipartiteGraph:
+    """A small random bipartite graph (brute-force tractable)."""
+    n_u = draw(st.integers(1, max_u))
+    n_v = draw(st.integers(1, max_v))
+    cells = [(u, v) for u in range(n_u) for v in range(n_v)]
+    edges = draw(
+        st.lists(st.sampled_from(cells), max_size=len(cells), unique=True)
+        if cells
+        else st.just([])
+    )
+    return BipartiteGraph(edges, n_u=n_u, n_v=n_v)
+
+
+@st.composite
+def masks(draw, max_bits: int = 48) -> int:
+    """A random bitmask with up to ``max_bits`` candidate positions."""
+    bits = draw(st.lists(st.integers(0, max_bits - 1), max_size=16, unique=True))
+    mask = 0
+    for b in bits:
+        mask |= 1 << b
+    return mask

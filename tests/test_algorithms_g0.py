@@ -1,0 +1,42 @@
+"""Every algorithm must reproduce the worked example G0 exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_mbe
+from repro.core.verify import verify_result
+from tests.conftest import EXACT_ALGORITHMS, G0_MAXIMAL
+
+
+@pytest.mark.parametrize("algo", EXACT_ALGORITHMS + ("bruteforce",))
+def test_g0_exact(g0, algo):
+    result = run_mbe(g0, algo)
+    assert result.biclique_set() == G0_MAXIMAL
+    assert result.count == 6
+
+
+@pytest.mark.parametrize("algo", EXACT_ALGORITHMS)
+def test_g0_swapped_sides(g0, algo):
+    swapped = g0.swap_sides()
+    expected = {b.swap() for b in G0_MAXIMAL}
+    assert run_mbe(swapped, algo).biclique_set() == expected
+
+
+@pytest.mark.parametrize("algo", EXACT_ALGORITHMS)
+def test_g0_orient_smaller_v(g0, algo):
+    # With orientation on, reported sides must still match the input graph.
+    result = run_mbe(g0.swap_sides(), algo, orient_smaller_v=True)
+    assert result.biclique_set() == {b.swap() for b in G0_MAXIMAL}
+
+
+@pytest.mark.parametrize("algo", EXACT_ALGORITHMS)
+def test_g0_results_verify(g0, algo):
+    result = run_mbe(g0, algo)
+    assert verify_result(g0, result.bicliques, expected=G0_MAXIMAL) == 6
+
+
+def test_g0_parallel_matches(g0):
+    for workers, bounds in [(1, {}), (2, {"bound_height": 1, "bound_size": 1})]:
+        result = run_mbe(g0, "parallel", workers=workers, **bounds)
+        assert result.biclique_set() == G0_MAXIMAL

@@ -1,0 +1,122 @@
+"""Tests for the analytics package."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import (
+    Biclique,
+    edge_coverage,
+    filter_by_size,
+    run_mbe,
+    size_histogram,
+    summarize,
+    top_k_by_area,
+    vertex_participation,
+)
+from repro.analysis import BicliqueSummary
+from tests.conftest import G0_MAXIMAL
+from tests.strategies import bipartite_graphs
+
+RELAXED = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s == BicliqueSummary.empty()
+        assert s.count == 0
+
+    def test_g0_summary(self):
+        s = summarize(G0_MAXIMAL)
+        assert s.count == 6
+        assert s.max_left == 4   # ({u0..u3}, {v1})
+        assert s.max_right == 4  # ({u1}, {v0..v3})
+        assert s.max_area == 6   # 2x3 or 3x2
+        assert s.total_area == sum(b.n_edges for b in G0_MAXIMAL)
+
+    def test_means(self):
+        bs = [Biclique.make([0], [0]), Biclique.make([0, 1, 2], [0, 1, 2])]
+        s = summarize(bs)
+        assert s.mean_left == 2.0
+        assert s.mean_right == 2.0
+
+
+class TestHistogramAndTopK:
+    def test_histogram_g0(self):
+        hist = size_histogram(G0_MAXIMAL)
+        assert sum(hist.values()) == 6
+        assert hist[(4, 1)] == 1
+        assert hist[(1, 4)] == 1
+
+    def test_top_k(self):
+        top = top_k_by_area(G0_MAXIMAL, 2)
+        assert len(top) == 2
+        assert top[0].n_edges >= top[1].n_edges
+        assert top[0].n_edges == 6
+
+    def test_top_k_zero_and_overflow(self):
+        assert top_k_by_area(G0_MAXIMAL, 0) == []
+        assert len(top_k_by_area(G0_MAXIMAL, 99)) == 6
+
+    def test_top_k_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            top_k_by_area(G0_MAXIMAL, -1)
+
+    def test_top_k_deterministic_tiebreak(self):
+        a = Biclique.make([0], [0, 1])
+        b = Biclique.make([1], [0, 1])
+        assert top_k_by_area([b, a], 2) == [a, b]
+        assert top_k_by_area([a, b], 2) == [a, b]
+
+
+class TestFilterBySize:
+    def test_matches_constrained_enumeration(self, g0):
+        full = run_mbe(g0, "mbet").bicliques
+        assert set(filter_by_size(full, 2, 2)) == run_mbe(
+            g0, "mbet", min_left=2, min_right=2
+        ).biclique_set()
+
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_property_matches_constrained(self, g):
+        full = run_mbe(g, "mbet").bicliques
+        assert set(filter_by_size(full, 2, 2)) == run_mbe(
+            g, "mbet", min_left=2, min_right=2
+        ).biclique_set()
+
+
+class TestParticipation:
+    def test_counts(self):
+        left, right = vertex_participation(G0_MAXIMAL)
+        # u1 is in every maximal biclique of G0
+        assert left[1] == 6
+        assert right[1] == 5  # v1 appears in five of the six bicliques
+
+    def test_empty(self):
+        left, right = vertex_participation([])
+        assert not left and not right
+
+
+class TestEdgeCoverage:
+    def test_full_mbe_covers_every_edge(self, g0):
+        assert edge_coverage(g0, run_mbe(g0, "mbet").bicliques) == 1.0
+
+    def test_partial_slice_covers_less(self, g0):
+        sliced = filter_by_size(G0_MAXIMAL, 3, 1)
+        assert edge_coverage(g0, sliced) < 1.0
+
+    def test_empty_graph(self):
+        from repro import BipartiteGraph
+
+        assert edge_coverage(BipartiteGraph([]), []) == 1.0
+
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_property_full_coverage(self, g):
+        # every edge of a bipartite graph lies in some maximal biclique
+        assert edge_coverage(g, run_mbe(g, "mbet").bicliques) == 1.0

@@ -1,0 +1,119 @@
+"""Behavioural tests for the baseline algorithms (naive/MBEA/iMBEA/PMBE/ooMBEA)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import BipartiteGraph, run_mbe
+from tests.conftest import random_bigraph
+
+
+class TestNaive:
+    def test_counts_intersections(self, g0):
+        result = run_mbe(g0, "naive")
+        assert result.stats.intersections > 0
+        assert result.stats.checks > 0
+
+    def test_non_maximal_counted(self, g0):
+        # G0's tree generates non-maximal nodes (e.g. node s1).
+        assert run_mbe(g0, "naive", order="natural").stats.non_maximal > 0
+
+
+class TestMBEAFamily:
+    def test_imbea_visits_no_more_nodes_than_mbea(self):
+        rng = random.Random(5)
+        wins = ties = 0
+        for _ in range(30):
+            g = random_bigraph(rng, max_side=7, p=0.4)
+            a = run_mbe(g, "mbea").stats.nodes
+            b = run_mbe(g, "imbea").stats.nodes
+            if b < a:
+                wins += 1
+            elif b == a:
+                ties += 1
+        # sorting may tie on tiny graphs but must not lose systematically
+        assert wins + ties >= 25
+
+    def test_mbea_equals_imbea_results(self):
+        rng = random.Random(6)
+        for _ in range(40):
+            g = random_bigraph(rng)
+            assert (
+                run_mbe(g, "mbea").biclique_set()
+                == run_mbe(g, "imbea").biclique_set()
+            )
+
+    @pytest.mark.parametrize("algo", ["naive", "mbea", "imbea"])
+    def test_star_graph(self, algo):
+        g = BipartiteGraph([(0, v) for v in range(6)])
+        result = run_mbe(g, algo)
+        assert result.count == 1
+        assert result.bicliques[0].right == tuple(range(6))
+
+
+class TestPMBE:
+    def test_pivot_prunes_branches(self):
+        # On dense graphs the pivot rule must suppress candidate branches.
+        g = BipartiteGraph(
+            [(u, v) for u in range(5) for v in range(5) if (u + v) % 7 != 0]
+        )
+        result = run_mbe(g, "pmbe")
+        assert result.stats.merged_candidates > 0
+
+    def test_pmbe_fewer_nonmaximal_than_mbea(self):
+        rng = random.Random(8)
+        total_pmbe = total_mbea = 0
+        for _ in range(25):
+            g = random_bigraph(rng, max_side=8, p=0.5)
+            total_pmbe += run_mbe(g, "pmbe").stats.non_maximal
+            total_mbea += run_mbe(g, "mbea").stats.non_maximal
+        assert total_pmbe <= total_mbea
+
+    def test_dense_complete_graph(self):
+        g = BipartiteGraph([(u, v) for u in range(6) for v in range(6)])
+        assert run_mbe(g, "pmbe").count == 1
+
+
+class TestOOMBEA:
+    def test_default_order_is_unilateral(self):
+        from repro.core.oombea import OOMBEA
+
+        assert OOMBEA().order == "unilateral"
+
+    def test_subtree_count_reported(self, g0):
+        result = run_mbe(g0, "oombea")
+        assert result.stats.subtrees > 0
+
+    @pytest.mark.parametrize("order", ["natural", "degree", "unilateral"])
+    def test_orders_are_exact(self, order):
+        rng = random.Random(11)
+        for _ in range(25):
+            g = random_bigraph(rng)
+            truth = run_mbe(g, "bruteforce").biclique_set()
+            assert run_mbe(g, "oombea", order=order).biclique_set() == truth
+
+
+class TestDegenerateInputs:
+    """Edge-case graphs every algorithm must handle."""
+
+    CASES = [
+        ("empty", BipartiteGraph([]), 0),
+        ("no-edges", BipartiteGraph([], n_u=3, n_v=3), 0),
+        ("one-edge", BipartiteGraph([(0, 0)]), 1),
+        ("matching", BipartiteGraph([(i, i) for i in range(5)]), 5),
+        ("star-u", BipartiteGraph([(0, v) for v in range(5)]), 1),
+        ("star-v", BipartiteGraph([(u, 0) for u in range(5)]), 1),
+        ("complete", BipartiteGraph([(u, v) for u in range(3) for v in range(3)]), 1),
+        # chain u0-v0-u1-v1-u2-v2: bicliques {u0,u1}x{v0}, {u1}x{v0,v1},
+        # {u1,u2}x{v1}, {u2}x{v1,v2}
+        ("chain", BipartiteGraph([(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]), 4),
+    ]
+
+    @pytest.mark.parametrize("algo", ["naive", "mbea", "imbea", "pmbe",
+                                      "oombea", "mbet", "mbetm"])
+    @pytest.mark.parametrize("name,graph,expected", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_degenerate(self, algo, name, graph, expected):
+        assert run_mbe(graph, algo).count == expected

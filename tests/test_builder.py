@@ -1,0 +1,54 @@
+"""Tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_deduplicates(self):
+        g = GraphBuilder().add_edge(0, 0).add_edge(0, 0).build()
+        assert g.n_edges == 1
+
+    def test_add_edges_chainable(self):
+        g = GraphBuilder().add_edges([(0, 0), (1, 1)]).add_edge(0, 1).build()
+        assert g.n_edges == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge(0, -1)
+
+    def test_n_edges_counts_distinct(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 0), (0, 0), (1, 0)])
+        assert b.n_edges == 2
+
+    def test_add_biclique(self):
+        g = GraphBuilder().add_biclique([0, 1], [0, 1, 2]).build()
+        assert g.n_edges == 6
+        assert g.neighbors_u(0) == (0, 1, 2)
+
+    def test_add_biclique_overlapping(self):
+        b = GraphBuilder()
+        b.add_biclique([0, 1], [0])
+        b.add_biclique([1, 2], [0])
+        assert b.build().neighbors_v(0) == (0, 1, 2)
+
+    def test_declared_sizes(self):
+        g = GraphBuilder().add_edge(0, 0).build(n_u=5, n_v=7)
+        assert (g.n_u, g.n_v) == (5, 7)
+
+    def test_compact_relabels(self):
+        g = GraphBuilder().add_edge(10, 20).add_edge(30, 20).build(compact=True)
+        assert (g.n_u, g.n_v) == (2, 1)
+        assert g.neighbors_v(0) == (0, 1)
+
+    def test_compact_empty(self):
+        g = GraphBuilder().build(compact=True)
+        assert (g.n_u, g.n_v, g.n_edges) == (0, 0, 0)
+
+    def test_build_is_repeatable(self):
+        b = GraphBuilder().add_edge(0, 1)
+        assert b.build() == b.build()

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.bigraph.io import write_edge_list
+from tests.conftest import make_g0
+
+
+@pytest.fixture
+def g0_file(tmp_path):
+    path = tmp_path / "g0.txt"
+    write_edge_list(make_g0(), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_dataset_and_input_exclusive(self, g0_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "mti", "--input", g0_file]
+            )
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "mti", "-a", "x"])
+
+
+class TestRunCommand:
+    def test_run_on_file(self, g0_file, capsys):
+        assert main(["run", "--input", g0_file, "-a", "mbet"]) == 0
+        out = capsys.readouterr().out
+        assert "6 maximal bicliques" in out
+        assert "complete" in out
+
+    def test_run_with_output(self, g0_file, tmp_path, capsys):
+        out_path = tmp_path / "bicliques.tsv"
+        assert main(
+            ["run", "--input", g0_file, "-o", str(out_path)]
+        ) == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == 6
+        left, right = lines[0].split("\t")
+        assert left and right
+
+    def test_run_with_limit(self, g0_file, capsys):
+        main(["run", "--input", g0_file, "--max-bicliques", "2"])
+        assert "stopped at limit" in capsys.readouterr().out
+
+    def test_run_dataset(self, capsys):
+        assert main(["run", "--dataset", "mti", "-a", "mbet"]) == 0
+        assert "mti" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_stats(self, g0_file, capsys):
+        assert main(["stats", "--input", g0_file]) == 0
+        out = capsys.readouterr().out
+        assert "n_edges" in out and "12" in out
+        # the enriched rows: component structure and degeneracy
+        assert "components" in out
+        assert "degeneracy" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for key in ("mti", "dbt"):
+            assert key in out
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "mbet" in out and "bruteforce" in out
+
+    def test_experiments_chart(self, capsys):
+        assert main(
+            ["experiments", "--run", "R-F7", "--quick", "--chart"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[log y]" in out  # the ASCII chart rendered
+
+    def test_experiments_single_quick(self, capsys):
+        assert main(["experiments", "--run", "R-F10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "R-F10" in out
+        assert "merge-path" in out
+
+    def test_analyze(self, g0_file, capsys):
+        assert main(["analyze", "--input", g0_file, "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "6 maximal bicliques" in out
+        assert "most common shapes" in out
+        assert "busiest vertices" in out
+
+    def test_analyze_constrained(self, g0_file, capsys):
+        assert main(
+            ["analyze", "--input", g0_file, "--min-left", "2",
+             "--min-right", "2"]
+        ) == 0
+        # G0 has exactly three bicliques with both sides >= 2
+        assert "3 maximal bicliques" in capsys.readouterr().out
+
+    def test_max(self, g0_file, capsys):
+        assert main(["max", "--input", g0_file, "--objective", "edges"]) == 0
+        out = capsys.readouterr().out
+        assert "value 6" in out
+
+    def test_max_infeasible_exit_code(self, g0_file, capsys):
+        assert main(
+            ["max", "--input", g0_file, "--min-left", "99"]
+        ) == 1
+        assert "no biclique" in capsys.readouterr().out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.txt"
+        assert main(
+            ["generate", "--kind", "random", "--n-u", "20", "--n-v", "10",
+             "--p", "0.3", "--seed", "5", "-o", str(out_path)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["stats", "--input", str(out_path)]) == 0
+
+    def test_experiments_markdown_output(self, tmp_path, capsys):
+        md = tmp_path / "out.md"
+        assert main(
+            ["experiments", "--run", "R-T1", "--quick", "--markdown", str(md)]
+        ) == 0
+        text = md.read_text()
+        assert text.startswith("### R-T1")
+        assert "| key |" in text

@@ -1,0 +1,89 @@
+"""Tests for connected components and per-component enumeration."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import BipartiteGraph, run_mbe
+from repro.bigraph.components import (
+    component_subgraphs,
+    connected_components,
+    run_mbe_per_component,
+)
+from tests.strategies import bipartite_graphs
+
+RELAXED = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self, g0):
+        comps = connected_components(g0)
+        assert len(comps) == 1
+        assert comps[0] == (list(range(5)), list(range(4)))
+
+    def test_two_components_largest_first(self):
+        g = BipartiteGraph([(0, 0), (1, 0), (2, 1), (0, 2)])
+        comps = connected_components(g)
+        assert comps == [([0, 1], [0, 2]), ([2], [1])]
+
+    def test_isolated_vertices_excluded(self):
+        g = BipartiteGraph([(0, 0)], n_u=5, n_v=5)
+        assert connected_components(g) == [([0], [0])]
+
+    def test_empty_graph(self):
+        assert connected_components(BipartiteGraph([])) == []
+
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_components_partition_active_vertices(self, g):
+        comps = connected_components(g)
+        seen_u = [u for us, _ in comps for u in us]
+        seen_v = [v for _, vs in comps for v in vs]
+        assert len(seen_u) == len(set(seen_u))
+        assert len(seen_v) == len(set(seen_v))
+        assert set(seen_u) == {u for u in range(g.n_u) if g.degree_u(u)}
+        assert set(seen_v) == {v for v in range(g.n_v) if g.degree_v(v)}
+
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_no_cross_component_edges(self, g):
+        comps = connected_components(g)
+        v_home = {}
+        for idx, (_, vs) in enumerate(comps):
+            for v in vs:
+                v_home[v] = idx
+        for idx, (us, _) in enumerate(comps):
+            for u in us:
+                for v in g.neighbors_u(u):
+                    assert v_home[v] == idx
+
+
+class TestComponentSubgraphs:
+    def test_edges_partition(self, g0):
+        total = sum(sub.n_edges for sub, _, _ in component_subgraphs(g0))
+        assert total == g0.n_edges
+
+    def test_back_maps_invert(self):
+        g = BipartiteGraph([(3, 5), (7, 5)], n_u=10, n_v=10)
+        (sub, back_u, back_v), = list(component_subgraphs(g))
+        assert sub.n_edges == 2
+        assert sorted(back_u.values()) == [3, 7]
+        assert list(back_v.values()) == [5]
+
+
+class TestPerComponentEnumeration:
+    def test_counts_split_by_component(self):
+        g = BipartiteGraph([(0, 0), (1, 0), (0, 1), (2, 2), (3, 2)])
+        bicliques, per = run_mbe_per_component(g, "mbet")
+        assert sum(per) == len(bicliques)
+        assert len(per) == 2
+
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_equals_whole_graph_enumeration(self, g):
+        whole = run_mbe(g, "mbet").biclique_set()
+        split, _ = run_mbe_per_component(g, "mbet")
+        assert frozenset(split) == whole
+        assert len(split) == len(whole)  # no duplicates across components

@@ -1,0 +1,78 @@
+"""Tests for the greedy biclique edge cover."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import Biclique, BipartiteGraph, run_mbe
+from repro.analysis import cover_quality, greedy_biclique_cover
+from tests.strategies import bipartite_graphs
+
+RELAXED = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def covered_edges(cover):
+    return {(u, v) for b in cover for u in b.left for v in b.right}
+
+
+class TestGreedyCover:
+    def test_g0_cover_is_complete(self, g0):
+        cover = greedy_biclique_cover(g0)
+        assert covered_edges(cover) == set(g0.edges())
+
+    def test_first_pick_is_largest(self, g0):
+        cover = greedy_biclique_cover(g0)
+        assert cover[0].n_edges == 6  # G0's largest maximal biclique
+
+    def test_single_block(self):
+        g = BipartiteGraph([(u, v) for u in range(3) for v in range(4)])
+        cover = greedy_biclique_cover(g)
+        assert len(cover) == 1
+
+    def test_matching_needs_every_edge(self):
+        g = BipartiteGraph([(i, i) for i in range(4)])
+        assert len(greedy_biclique_cover(g)) == 4
+
+    def test_empty_graph(self):
+        assert greedy_biclique_cover(BipartiteGraph([])) == []
+
+    def test_non_edge_input_rejected(self, g0):
+        with pytest.raises(ValueError, match="non-edge"):
+            greedy_biclique_cover(g0, [Biclique.make([0, 4], [0])])
+
+    def test_incomplete_pool_rejected(self, g0):
+        partial = sorted(run_mbe(g0, "mbet").bicliques)[:1]
+        with pytest.raises(ValueError, match="cannot cover"):
+            greedy_biclique_cover(g0, partial)
+
+    def test_every_pick_gains(self, g0):
+        cover = greedy_biclique_cover(g0)
+        seen: set[tuple[int, int]] = set()
+        for b in cover:
+            edges = {(u, v) for u in b.left for v in b.right}
+            assert edges - seen, "a pick must cover new edges"
+            seen |= edges
+
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_property_complete_and_bounded(self, g):
+        cover = greedy_biclique_cover(g)
+        assert covered_edges(cover) == set(g.edges())
+        assert len(cover) <= max(g.n_edges, 1)
+
+
+class TestCoverQuality:
+    def test_metrics(self, g0):
+        cover = greedy_biclique_cover(g0)
+        quality = cover_quality(g0, cover)
+        assert quality["size"] == len(cover)
+        assert quality["total_area"] >= g0.n_edges
+        assert quality["compression"] > 0
+
+    def test_empty_cover(self, g0):
+        quality = cover_quality(g0, [])
+        assert quality["size"] == 0
+        assert quality["compression"] == 0.0

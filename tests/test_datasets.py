@@ -1,0 +1,95 @@
+"""Tests for the dataset zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_mbe
+from repro.datasets import DATASETS, large_names, load, names, spec
+
+
+class TestRegistry:
+    def test_thirteen_datasets(self):
+        assert len(names()) == 13
+
+    def test_roster_order_preserved(self):
+        assert names()[0] == "mti"
+        assert names()[-1] == "dbt"
+
+    def test_large_names_is_rear_half(self):
+        assert large_names() == names()[6:]
+        assert "dbt" in large_names()
+
+    def test_spec_lookup(self):
+        sp = spec("mti")
+        assert sp.models.startswith("MovieLens")
+        assert sp.reference_shape == (16_528, 7_601, 71_154)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            spec("nope")
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load("nope")
+
+    def test_counts_strictly_ascend(self):
+        counts = [spec(k).approx_bicliques for k in names()]
+        assert counts == sorted(counts)
+        assert len(set(counts)) == len(counts)
+
+    def test_every_spec_is_frozen(self):
+        sp = spec("yg")
+        with pytest.raises(AttributeError):
+            sp.seed = 99
+
+
+class TestBuilding:
+    def test_deterministic(self):
+        assert spec("mti").build() == spec("mti").build()
+
+    def test_load_caches(self):
+        assert load("mti") is load("mti")
+
+    def test_load_uncached_builds_fresh(self):
+        a = load("mti", cache=False)
+        assert a == load("mti")
+        assert a is not load("mti", cache=False)
+
+    def test_shapes_match_params(self):
+        for key in names():
+            sp = spec(key)
+            g = load(key)
+            assert g.n_u == sp.params["n_u"]
+            assert g.n_v == sp.params["n_v"]
+            assert g.n_edges > 0
+
+    def test_unknown_kind_rejected(self):
+        from dataclasses import replace
+
+        broken = replace(spec("mti"), kind="weird")
+        with pytest.raises(ValueError, match="unknown dataset kind"):
+            broken.build()
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("key", ["mti", "yg", "ee"])
+    def test_recorded_biclique_counts_are_exact(self, key):
+        # The calibration counts recorded in the specs are ground truth for
+        # the experiments; verify a sample end-to-end.
+        result = run_mbe(load(key), "mbet", collect=False)
+        assert result.count == spec(key).approx_bicliques
+
+    def test_every_recorded_count_is_exact(self):
+        # The whole-zoo calibration check (tens of seconds): generator or
+        # ordering drift anywhere breaks this loudly.
+        for key in names():
+            result = run_mbe(load(key), "mbet", collect=False)
+            assert result.count == spec(key).approx_bicliques, key
+
+    def test_mixed_kind_unions_block_and_hub_edges(self):
+        sp = spec("gh")
+        g = load("gh")
+        # must contain more edges than the noise component alone
+        assert g.n_edges > sp.params["noise_edges"] // 2
+
+    def test_registry_is_the_specs(self):
+        assert set(DATASETS) == set(names())

@@ -1,0 +1,69 @@
+"""Tests for the bipartite degeneracy peel order."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import BipartiteGraph, run_mbe, vertex_order
+from repro.bigraph.ordering import degeneracy_order
+from tests.strategies import bipartite_graphs
+
+RELAXED = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestDegeneracyOrder:
+    def test_is_a_permutation(self, g0):
+        order, _k = degeneracy_order(g0)
+        assert sorted(order) == list(range(g0.n_v))
+
+    def test_strategy_name_wired(self, g0):
+        assert vertex_order(g0, "degeneracy") == degeneracy_order(g0)[0]
+
+    def test_complete_bipartite_degeneracy(self):
+        # K(a,b) has degeneracy min(a, b)
+        g = BipartiteGraph([(u, v) for u in range(3) for v in range(5)])
+        assert degeneracy_order(g)[1] == 3
+
+    def test_star_degeneracy_one(self):
+        g = BipartiteGraph([(0, v) for v in range(6)])
+        assert degeneracy_order(g)[1] == 1
+
+    def test_matching_degeneracy_one(self):
+        g = BipartiteGraph([(i, i) for i in range(5)])
+        assert degeneracy_order(g)[1] == 1
+
+    def test_empty_graph(self):
+        order, k = degeneracy_order(BipartiteGraph([]))
+        assert order == [] and k == 0
+
+    def test_edgeless_vertices(self):
+        g = BipartiteGraph([], n_u=3, n_v=4)
+        order, k = degeneracy_order(g)
+        assert sorted(order) == [0, 1, 2, 3]
+        assert k == 0
+
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_degeneracy_bounds(self, g):
+        order, k = degeneracy_order(g)
+        assert sorted(order) == list(range(g.n_v))
+        max_deg = max(
+            [g.degree_u(u) for u in range(g.n_u)]
+            + [g.degree_v(v) for v in range(g.n_v)],
+            default=0,
+        )
+        min_deg_active = min(
+            [g.degree_u(u) for u in range(g.n_u) if g.degree_u(u)]
+            + [g.degree_v(v) for v in range(g.n_v) if g.degree_v(v)],
+            default=0,
+        )
+        assert min_deg_active <= k <= max_deg
+
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_enumeration_correct_under_degeneracy_order(self, g):
+        truth = run_mbe(g, "bruteforce").biclique_set()
+        assert run_mbe(g, "mbet", order="degeneracy").biclique_set() == truth
+        assert run_mbe(g, "oombea", order="degeneracy").biclique_set() == truth

@@ -1,0 +1,32 @@
+"""Docstring examples must execute (they are the first thing users copy)."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.bigraph.matrix
+import repro.core.base
+import repro.datasets
+import repro.streaming.dynamic
+
+MODULES = [
+    repro,
+    repro.bigraph.matrix,
+    repro.core.base,
+    repro.datasets,
+    repro.streaming.dynamic,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} failures"
+
+
+def test_at_least_some_examples_exist():
+    attempted = sum(doctest.testmod(m).attempted for m in MODULES)
+    assert attempted >= 5

@@ -1,0 +1,46 @@
+"""The example programs must run clean end to end (their asserts are the test)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_example_roster():
+    assert EXAMPLES == [
+        "fraud_detection.py",
+        "gene_expression.py",
+        "market_summary.py",
+        "quickstart.py",
+        "recommendation.py",
+        "streaming_monitor.py",
+    ]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "examples must narrate what they do"
+
+
+def test_quickstart_output_names_the_result():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "6 maximal bicliques" in proc.stdout
+    assert "verified" in proc.stdout

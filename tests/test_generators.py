@@ -1,0 +1,143 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    planted_bicliques,
+    powerlaw_bipartite,
+    random_bipartite,
+    subsample_edges,
+)
+
+
+class TestRandomBipartite:
+    def test_deterministic_in_seed(self):
+        assert random_bipartite(20, 15, 0.3, seed=4) == random_bipartite(
+            20, 15, 0.3, seed=4
+        )
+
+    def test_different_seeds_differ(self):
+        a = random_bipartite(30, 30, 0.3, seed=1)
+        b = random_bipartite(30, 30, 0.3, seed=2)
+        assert a != b
+
+    def test_p_zero_and_one(self):
+        assert random_bipartite(5, 5, 0.0, seed=0).n_edges == 0
+        assert random_bipartite(5, 5, 1.0, seed=0).n_edges == 25
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            random_bipartite(5, 5, 1.5)
+
+    def test_negative_sides_rejected(self):
+        with pytest.raises(ValueError):
+            random_bipartite(-1, 5, 0.5)
+
+    def test_empty_side(self):
+        g = random_bipartite(0, 5, 0.9, seed=0)
+        assert g.n_edges == 0
+
+    def test_edge_count_near_expectation(self):
+        g = random_bipartite(100, 100, 0.1, seed=9)
+        assert 700 <= g.n_edges <= 1300  # E = 1000, generous band
+
+
+class TestPowerlawBipartite:
+    def test_deterministic(self):
+        a = powerlaw_bipartite(50, 40, 300, 2.0, seed=3)
+        b = powerlaw_bipartite(50, 40, 300, 2.0, seed=3)
+        assert a == b
+
+    def test_shape_respected(self):
+        g = powerlaw_bipartite(50, 40, 300, 2.0, seed=3)
+        assert (g.n_u, g.n_v) == (50, 40)
+        assert 0 < g.n_edges <= 300  # dedup may shrink
+
+    def test_skewed_degrees(self):
+        g = powerlaw_bipartite(200, 200, 2000, 1.6, seed=1)
+        degrees = sorted((g.degree_v(v) for v in range(g.n_v)), reverse=True)
+        # hub dominance: top vertex holds many times the median degree
+        assert degrees[0] >= 5 * max(degrees[len(degrees) // 2], 1)
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_bipartite(5, 5, 10, exponent=1.0)
+
+    def test_side_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_bipartite(0, 5, 10)
+
+    def test_negative_edges_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_bipartite(5, 5, -1)
+
+    def test_zero_edges(self):
+        assert powerlaw_bipartite(5, 5, 0, seed=0).n_edges == 0
+
+
+class TestPlantedBicliques:
+    def test_deterministic(self):
+        a = planted_bicliques(30, 20, 10, seed=5)
+        b = planted_bicliques(30, 20, 10, seed=5)
+        assert a == b
+
+    def test_blocks_are_complete(self):
+        # One block, no noise: the whole graph is one complete biclique.
+        g = planted_bicliques(50, 50, 1, (4, 4), (6, 6), seed=2)
+        us = [u for u in range(50) if g.degree_u(u)]
+        vs = [v for v in range(50) if g.degree_v(v)]
+        assert (len(us), len(vs)) == (4, 6)
+        assert all(g.has_edge(u, v) for u in us for v in vs)
+
+    def test_block_size_clamped_to_sides(self):
+        g = planted_bicliques(3, 2, 1, (10, 10), (10, 10), seed=0)
+        assert g.n_edges == 6  # 3 x 2, clamped
+
+    def test_noise_edges_added(self):
+        quiet = planted_bicliques(40, 40, 3, seed=7)
+        noisy = planted_bicliques(40, 40, 3, noise_edges=200, seed=7)
+        assert noisy.n_edges > quiet.n_edges
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            planted_bicliques(10, 10, 1, block_u=(0, 3))
+        with pytest.raises(ValueError):
+            planted_bicliques(10, 10, 1, block_v=(5, 2))
+
+    def test_side_validation(self):
+        with pytest.raises(ValueError):
+            planted_bicliques(0, 10, 1)
+
+
+class TestSubsampleEdges:
+    def test_full_fraction_returns_same_graph(self):
+        g = random_bipartite(20, 20, 0.3, seed=1)
+        assert subsample_edges(g, 1.0) is g
+
+    def test_zero_fraction(self):
+        g = random_bipartite(20, 20, 0.3, seed=1)
+        sub = subsample_edges(g, 0.0, seed=2)
+        assert sub.n_edges == 0
+        assert (sub.n_u, sub.n_v) == (g.n_u, g.n_v)
+
+    def test_fraction_proportional(self):
+        g = random_bipartite(40, 40, 0.4, seed=3)
+        sub = subsample_edges(g, 0.5, seed=4)
+        assert sub.n_edges == round(g.n_edges * 0.5)
+
+    def test_subset_of_original(self):
+        g = random_bipartite(30, 30, 0.3, seed=5)
+        sub = subsample_edges(g, 0.4, seed=6)
+        original = set(g.edges())
+        assert all(e in original for e in sub.edges())
+
+    def test_deterministic(self):
+        g = random_bipartite(30, 30, 0.3, seed=5)
+        assert subsample_edges(g, 0.3, seed=1) == subsample_edges(g, 0.3, seed=1)
+
+    def test_fraction_validation(self):
+        g = random_bipartite(5, 5, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            subsample_edges(g, 1.2)

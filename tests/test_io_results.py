@@ -1,0 +1,101 @@
+"""Tests for biclique-collection serialization and the verify CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_mbe
+from repro.bigraph.io import write_edge_list
+from repro.cli import main
+from repro.core.io_results import read_bicliques, write_bicliques
+from tests.conftest import G0_MAXIMAL, make_g0
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "b.tsv"
+        assert write_bicliques(sorted(G0_MAXIMAL), path) == 6
+        assert set(read_bicliques(path)) == G0_MAXIMAL
+
+    def test_empty_collection(self, tmp_path):
+        path = tmp_path / "b.tsv"
+        assert write_bicliques([], path) == 0
+        assert read_bicliques(path) == []
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "b.tsv"
+        path.write_text("# saved results\n\n1,2\t3\n")
+        (b,) = read_bicliques(path)
+        assert b.left == (1, 2) and b.right == (3,)
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "b.tsv"
+        path.write_text("1,2 3\n")  # space, not tab
+        with pytest.raises(ValueError, match="expected"):
+            read_bicliques(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "b.tsv"
+        path.write_text("1,x\t3\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            read_bicliques(path)
+
+    def test_empty_side(self, tmp_path):
+        path = tmp_path / "b.tsv"
+        path.write_text(",\t3\n")
+        with pytest.raises(ValueError, match="empty biclique side"):
+            read_bicliques(path)
+
+
+class TestVerifyCommand:
+    @pytest.fixture
+    def files(self, tmp_path):
+        graph_path = tmp_path / "g0.txt"
+        write_edge_list(make_g0(), graph_path)
+        result_path = tmp_path / "out.tsv"
+        write_bicliques(run_mbe(make_g0(), "mbet").bicliques, result_path)
+        return str(graph_path), str(result_path)
+
+    def test_verify_ok(self, files, capsys):
+        graph_path, result_path = files
+        assert main(
+            ["verify", "--input", graph_path, "--bicliques", result_path]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_complete(self, files, capsys):
+        graph_path, result_path = files
+        assert main(
+            ["verify", "--input", graph_path, "--bicliques", result_path,
+             "--complete"]
+        ) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_verify_detects_missing(self, files, tmp_path, capsys):
+        graph_path, _ = files
+        partial = tmp_path / "partial.tsv"
+        write_bicliques(sorted(G0_MAXIMAL)[:4], partial)
+        assert main(
+            ["verify", "--input", graph_path, "--bicliques", str(partial),
+             "--complete"]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_verify_detects_bogus(self, files, tmp_path, capsys):
+        graph_path, _ = files
+        bogus = tmp_path / "bogus.tsv"
+        bogus.write_text("0\t3\n")  # u0 is not adjacent to v3
+        assert main(
+            ["verify", "--input", graph_path, "--bicliques", str(bogus)]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_run_output_verifies(self, tmp_path, capsys):
+        graph_path = tmp_path / "g0.txt"
+        write_edge_list(make_g0(), graph_path)
+        out = tmp_path / "saved.tsv"
+        main(["run", "--input", str(graph_path), "-o", str(out)])
+        assert main(
+            ["verify", "--input", str(graph_path), "--bicliques", str(out),
+             "--complete"]
+        ) == 0

@@ -1,0 +1,103 @@
+"""Tests for biadjacency-matrix and NetworkX interop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BipartiteGraph,
+    from_biadjacency,
+    from_networkx,
+    run_mbe,
+    to_biadjacency,
+    to_networkx,
+)
+from tests.conftest import make_g0
+
+
+class TestBiadjacency:
+    def test_roundtrip(self):
+        g = make_g0()
+        assert from_biadjacency(to_biadjacency(g)) == g
+
+    def test_nonzero_is_edge(self):
+        g = from_biadjacency(np.array([[0.5, 0.0], [2, 3]]))
+        assert g.n_edges == 3
+        assert not g.has_edge(0, 1)
+
+    def test_bool_matrix(self):
+        m = np.zeros((3, 4), dtype=bool)
+        m[1, 2] = True
+        g = from_biadjacency(m)
+        assert (g.n_u, g.n_v, g.n_edges) == (3, 4, 1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            from_biadjacency(np.zeros(5))
+        with pytest.raises(ValueError, match="2-D"):
+            from_biadjacency(np.zeros((2, 2, 2)))
+
+    def test_empty_matrix(self):
+        g = from_biadjacency(np.zeros((2, 3)))
+        assert g.n_edges == 0
+        assert (g.n_u, g.n_v) == (2, 3)
+
+    def test_to_biadjacency_dtype(self):
+        g = BipartiteGraph([(0, 1)])
+        out = to_biadjacency(g, dtype=np.int8)
+        assert out.dtype == np.int8
+        assert out[0, 1] == 1 and out.sum() == 1
+
+    def test_mbe_on_matrix_input(self):
+        # a planted all-ones block is the unique largest biclique
+        m = np.zeros((6, 6), dtype=bool)
+        m[1:4, 2:5] = True
+        result = run_mbe(from_biadjacency(m), "mbet")
+        assert result.count == 1
+        b = result.bicliques[0]
+        assert b.left == (1, 2, 3) and b.right == (2, 3, 4)
+
+
+class TestNetworkX:
+    def test_roundtrip_structure(self):
+        g = make_g0()
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == g.n_u + g.n_v
+        assert nxg.number_of_edges() == g.n_edges
+        back, u_map, v_map = from_networkx(nxg)
+        assert back == g
+        assert u_map[("u", 0)] == 0
+        assert v_map[("v", 3)] == 3
+
+    def test_bipartite_attribute_used(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node("a", bipartite=0)
+        nxg.add_node("x", bipartite=1)
+        nxg.add_edge("a", "x")
+        g, u_map, _v_map = from_networkx(nxg)
+        assert g.n_edges == 1
+        assert "a" in u_map
+
+    def test_explicit_u_nodes(self):
+        import networkx as nx
+
+        nxg = nx.Graph([("a", "x"), ("b", "x")])
+        g, u_map, v_map = from_networkx(nxg, u_nodes=["a", "b"])
+        assert g.degree_v(v_map["x"]) == 2
+
+    def test_missing_partition_rejected(self):
+        import networkx as nx
+
+        nxg = nx.Graph([("a", "x")])
+        with pytest.raises(ValueError, match="bipartite=0"):
+            from_networkx(nxg)
+
+    def test_edge_within_partition_rejected(self):
+        import networkx as nx
+
+        nxg = nx.Graph([("a", "b"), ("a", "x")])
+        with pytest.raises(ValueError, match="not across"):
+            from_networkx(nxg, u_nodes=["a", "b"])

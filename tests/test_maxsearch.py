@@ -1,0 +1,90 @@
+"""Tests for the exact maximum-biclique search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import BipartiteGraph, find_maximum_biclique, run_mbe
+from repro.core.maxsearch import OBJECTIVES
+from tests.strategies import bipartite_graphs
+
+RELAXED = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestBasics:
+    def test_unknown_objective(self, g0):
+        with pytest.raises(ValueError, match="unknown objective"):
+            find_maximum_biclique(g0, "weird")
+
+    def test_g0_edges(self, g0):
+        result = find_maximum_biclique(g0, "edges")
+        assert result.value == 6
+        assert result.biclique.n_edges == 6
+
+    def test_g0_vertices(self, g0):
+        result = find_maximum_biclique(g0, "vertices")
+        assert result.value == 5
+
+    def test_g0_balanced(self, g0):
+        result = find_maximum_biclique(g0, "balanced")
+        assert result.value == 2
+        b = result.biclique
+        assert min(len(b.left), len(b.right)) == 2
+
+    def test_empty_graph(self):
+        result = find_maximum_biclique(BipartiteGraph([]))
+        assert result.biclique is None
+        assert result.value == 0
+
+    def test_infeasible_constraints(self, g0):
+        result = find_maximum_biclique(g0, "edges", min_left=10)
+        assert result.biclique is None
+
+    def test_result_is_maximal(self, g0):
+        from repro import is_maximal_biclique
+
+        b = find_maximum_biclique(g0, "edges").biclique
+        assert is_maximal_biclique(g0, b.left, b.right)
+
+    def test_bound_prunes(self):
+        from repro import planted_bicliques
+
+        g = planted_bicliques(200, 120, 80, (2, 6), (2, 6), 300, seed=4)
+        result = find_maximum_biclique(g, "edges")
+        assert result.stats.threshold_pruned > 0
+
+    def test_star_graph(self):
+        g = BipartiteGraph([(0, v) for v in range(7)])
+        assert find_maximum_biclique(g, "edges").value == 7
+        assert find_maximum_biclique(g, "balanced").value == 1
+
+
+class TestAgainstEnumeration:
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    @RELAXED
+    @given(g=bipartite_graphs())
+    def test_matches_enumeration_optimum(self, objective, g):
+        value = OBJECTIVES[objective]
+        truth = run_mbe(g, "bruteforce").biclique_set()
+        best = max(
+            (value(len(b.left), len(b.right)) for b in truth), default=0
+        )
+        result = find_maximum_biclique(g, objective)
+        assert result.value == best
+        if truth:
+            assert result.biclique in truth
+
+    @RELAXED
+    @given(g=bipartite_graphs(), p=st.integers(1, 3), q=st.integers(1, 3))
+    def test_constrained_optimum(self, g, p, q):
+        truth = run_mbe(g, "bruteforce").biclique_set()
+        feasible = [
+            b for b in truth if len(b.left) >= p and len(b.right) >= q
+        ]
+        best = max((b.n_edges for b in feasible), default=0)
+        result = find_maximum_biclique(g, "edges", min_left=p, min_right=q)
+        assert result.value == best

@@ -1,0 +1,57 @@
+"""Tests for the explicit-stack MBET variant."""
+
+from __future__ import annotations
+
+import random
+
+from repro import BipartiteGraph, run_mbe
+from tests.conftest import G0_MAXIMAL, random_bigraph
+
+
+class TestIterativeSearch:
+    def test_g0(self, g0):
+        assert run_mbe(g0, "mbet_iter").biclique_set() == G0_MAXIMAL
+
+    def test_matches_recursive_exactly(self):
+        rng = random.Random(17)
+        for _ in range(50):
+            g = random_bigraph(rng)
+            rec = run_mbe(g, "mbet")
+            it = run_mbe(g, "mbet_iter")
+            assert rec.biclique_set() == it.biclique_set()
+            # identical search => identical work counters
+            assert rec.stats.nodes == it.stats.nodes
+            assert rec.stats.non_maximal == it.stats.non_maximal
+            assert rec.stats.intersections == it.stats.intersections
+
+    def test_deep_chain_without_recursion(self):
+        # A nested-neighbourhood chain drives the search depth to n; the
+        # iterative driver must handle it with the default recursion limit.
+        import sys
+
+        n = 400
+        edges = [(u, v) for v in range(n) for u in range(v, n)]
+        g = BipartiteGraph(edges, n_u=n, n_v=n)
+        limit = sys.getrecursionlimit()
+        result = run_mbe(g, "mbet_iter", collect=False, order="natural")
+        assert sys.getrecursionlimit() == limit
+        assert result.count == n  # nested chain: one biclique per level
+
+    def test_flags_supported(self, g0):
+        for flags in ({"use_merge": False}, {"use_sort": False},
+                      {"use_trie": False}):
+            assert run_mbe(g0, "mbet_iter", **flags).biclique_set() == G0_MAXIMAL
+
+    def test_constrained_matches_recursive(self):
+        rng = random.Random(18)
+        for _ in range(30):
+            g = random_bigraph(rng)
+            for p, q in ((2, 2), (3, 1)):
+                rec = run_mbe(g, "mbet", min_left=p, min_right=q)
+                it = run_mbe(g, "mbet_iter", min_left=p, min_right=q)
+                assert rec.biclique_set() == it.biclique_set()
+
+    def test_limits_respected(self, g0):
+        result = run_mbe(g0, "mbet_iter", max_bicliques=2)
+        assert result.count == 2
+        assert not result.complete

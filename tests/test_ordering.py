@@ -1,0 +1,73 @@
+"""Tests for vertex-ordering strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BipartiteGraph, vertex_order
+from repro.bigraph.ordering import ORDER_STRATEGIES, rank_of
+
+
+class TestOrderings:
+    def test_every_strategy_is_a_permutation(self, g0):
+        for strategy in ORDER_STRATEGIES:
+            order = vertex_order(g0, strategy)
+            assert sorted(order) == list(range(g0.n_v)), strategy
+
+    def test_natural(self, g0):
+        assert vertex_order(g0, "natural") == [0, 1, 2, 3]
+
+    def test_degree_ascending(self, g0):
+        order = vertex_order(g0, "degree")
+        degrees = [g0.degree_v(v) for v in order]
+        assert degrees == sorted(degrees)
+        assert order[0] == 0  # degree 2 is unique minimum
+
+    def test_degree_descending(self, g0):
+        order = vertex_order(g0, "degree_desc")
+        degrees = [g0.degree_v(v) for v in order]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_degree_ties_broken_by_id(self, g0):
+        order = vertex_order(g0, "degree")
+        # v2 and v3 both have degree 3; v2 must precede v3
+        assert order.index(2) < order.index(3)
+
+    def test_unilateral_sorted_by_degree_then_two_hop(self, g0):
+        order = vertex_order(g0, "unilateral")
+        keys = [(g0.degree_v(v), len(g0.two_hop_v(v))) for v in order]
+        assert keys == sorted(keys)
+
+    def test_two_hop_order(self, g0):
+        order = vertex_order(g0, "two_hop")
+        sizes = [len(g0.two_hop_v(v)) for v in order]
+        assert sizes == sorted(sizes)
+
+    def test_random_deterministic_in_seed(self, g0):
+        assert vertex_order(g0, "random", seed=3) == vertex_order(
+            g0, "random", seed=3
+        )
+
+    def test_random_seeds_differ(self):
+        g = BipartiteGraph([(0, v) for v in range(20)])
+        assert vertex_order(g, "random", seed=1) != vertex_order(
+            g, "random", seed=2
+        )
+
+    def test_unknown_strategy(self, g0):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            vertex_order(g0, "bogus")
+
+    def test_empty_graph(self):
+        assert vertex_order(BipartiteGraph([]), "degree") == []
+
+
+class TestRankOf:
+    def test_inverse_permutation(self):
+        order = [2, 0, 3, 1]
+        rank = rank_of(order)
+        assert rank == [1, 3, 0, 2]
+        assert all(order[rank[v]] == v for v in range(4))
+
+    def test_empty(self):
+        assert rank_of([]) == []

@@ -1,0 +1,98 @@
+"""Tests for the parallel driver (task construction, slices, agreement)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import run_mbe
+from repro.core.parallel import ParallelMBE
+from repro.datasets import load
+from tests.conftest import G0_MAXIMAL, random_bigraph
+
+
+class TestConstruction:
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            ParallelMBE(workers=0)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            ParallelMBE(bound_height=0)
+        with pytest.raises(ValueError):
+            ParallelMBE(bound_size=-1)
+
+    def test_limits_unsupported(self, g0):
+        from repro.core.base import EnumerationLimits
+
+        algo = ParallelMBE(workers=1)
+        with pytest.raises(NotImplementedError):
+            algo.run(g0, limits=EnumerationLimits(max_bicliques=3))
+
+
+class TestTaskBuilding:
+    def test_tasks_cover_every_active_vertex(self, g0):
+        algo = ParallelMBE(workers=2, bound_height=10_000, bound_size=10_000)
+        tasks = algo._make_tasks(g0)
+        assert {t[0] for t in tasks} == {0, 1, 2, 3}
+        assert all(t[1:] == (0, 1) for t in tasks)  # no splits
+
+    def test_isolated_vertices_excluded(self):
+        from repro import BipartiteGraph
+
+        g = BipartiteGraph([(0, 0)], n_u=3, n_v=3)
+        tasks = ParallelMBE(workers=1)._make_tasks(g)
+        assert {t[0] for t in tasks} == {0}
+
+    def test_splitting_produces_partitioned_slices(self, g0):
+        algo = ParallelMBE(workers=2, bound_height=1, bound_size=1)
+        tasks = algo._make_tasks(g0)
+        by_v: dict[int, list[tuple[int, int]]] = {}
+        for v, part, n_parts in tasks:
+            by_v.setdefault(v, []).append((part, n_parts))
+        for v, slices in by_v.items():
+            n_parts = slices[0][1]
+            assert all(n == n_parts for _, n in slices)
+            assert sorted(p for p, _ in slices) == list(range(n_parts))
+
+    def test_large_tasks_first(self):
+        g = load("mti")
+        tasks = ParallelMBE(workers=2)._make_tasks(g)
+        assert len(tasks) > 0  # LPT order is checked implicitly by sort
+
+
+class TestAgreement:
+    def test_g0_all_configurations(self, g0):
+        for workers in (1, 2):
+            for bounds in ({}, {"bound_height": 1, "bound_size": 1}):
+                result = run_mbe(g0, "parallel", workers=workers, **bounds)
+                assert result.biclique_set() == G0_MAXIMAL
+                assert result.meta["workers"] == workers
+
+    def test_random_graphs_with_aggressive_splitting(self):
+        rng = random.Random(21)
+        for _ in range(30):
+            g = random_bigraph(rng)
+            truth = run_mbe(g, "bruteforce").biclique_set()
+            got = run_mbe(
+                g, "parallel", workers=2, bound_height=1, bound_size=1
+            ).biclique_set()
+            assert got == truth
+
+    def test_counts_match_mbet_on_dataset(self):
+        g = load("mti")
+        serial = run_mbe(g, "mbet", collect=False).count
+        parallel = run_mbe(g, "parallel", workers=2, collect=False).count
+        assert parallel == serial
+
+    def test_stats_aggregated(self, g0):
+        result = run_mbe(g0, "parallel", workers=1, collect=False)
+        assert result.stats.subtrees > 0
+        assert result.stats.maximal == result.count == 6
+
+    def test_orientation(self, g0):
+        result = run_mbe(
+            g0.swap_sides(), "parallel", workers=1, orient_smaller_v=True
+        )
+        assert result.biclique_set() == {b.swap() for b in G0_MAXIMAL}

@@ -1,0 +1,85 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.bench.plotting import MARKERS, SKIP_COLUMNS, _parse, ascii_chart
+
+
+class TestParse:
+    def test_numbers(self):
+        assert _parse(3) == 3.0
+        assert _parse(2.5) == 2.5
+        assert _parse("0.123") == 0.123
+
+    def test_decorated_numbers(self):
+        assert _parse("80%") == 80.0
+        assert _parse("1.50x") == 1.5
+        assert _parse("1,234") == 1234.0
+
+    def test_non_numbers(self):
+        assert _parse("TO") is None
+        assert _parse("-") is None
+
+
+class TestChart:
+    HEADERS = ["x", "fast", "slow"]
+    ROWS = [
+        ["20%", 0.01, 0.1],
+        ["40%", 0.05, 0.9],
+        ["60%", 0.2, 4.0],
+        ["80%", 0.9, 21.0],
+    ]
+
+    def test_renders_axes_and_legend(self):
+        chart = ascii_chart(self.HEADERS, self.ROWS)
+        assert "o=fast" in chart and "x=slow" in chart
+        assert "[log y]" in chart
+        assert "20%" in chart and "80%" in chart
+
+    def test_extremes_on_scale(self):
+        chart = ascii_chart(self.HEADERS, self.ROWS)
+        first_line = chart.splitlines()[0]
+        assert "21" in first_line  # top of the log scale ~ max value
+
+    def test_markers_present(self):
+        chart = ascii_chart(self.HEADERS, self.ROWS)
+        body = "\n".join(chart.splitlines()[:-3])
+        assert "o" in body and "x" in body
+
+    def test_skip_columns_excluded(self):
+        chart = ascii_chart(
+            ["x", "time (s)", "bicliques"],
+            [["a", 1.0, 100], ["b", 2.0, 9000]],
+        )
+        assert "bicliques" not in chart
+        assert "time (s)" in chart
+
+    def test_unparseable_cells_skipped(self):
+        chart = ascii_chart(
+            ["x", "t"], [["a", 1.0], ["b", "TO"], ["c", 4.0]]
+        )
+        assert "o=t" in chart
+
+    def test_empty_when_nothing_plottable(self):
+        assert ascii_chart(["x", "t"], [["a", "TO"], ["b", "TO"]]) == ""
+        assert ascii_chart(["x", "t"], [["a", 1.0]]) == ""
+
+    def test_linear_scale(self):
+        chart = ascii_chart(self.HEADERS, self.ROWS, log_y=False)
+        assert "[linear y]" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart(["x", "t"], [["a", 5.0], ["b", 5.0]])
+        assert "o=t" in chart
+
+    def test_many_series_marker_cycle(self):
+        headers = ["x"] + [f"s{i}" for i in range(len(MARKERS) + 2)]
+        rows = [
+            ["a"] + [float(i + 1) for i in range(len(MARKERS) + 2)],
+            ["b"] + [float(i + 2) for i in range(len(MARKERS) + 2)],
+        ]
+        chart = ascii_chart(headers, rows)
+        assert "s0" in chart
+
+    def test_skip_columns_is_lowercase(self):
+        assert all(s == s.lower() for s in SKIP_COLUMNS)

@@ -1,0 +1,111 @@
+"""Tests for (p, q)-biclique counting."""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import BipartiteGraph
+from repro.analysis import count_pq_bicliques, count_pq_table
+from tests.strategies import bipartite_graphs
+
+RELAXED = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def brute_count(g: BipartiteGraph, p: int, q: int) -> int:
+    total = 0
+    for s in combinations(range(g.n_u), p):
+        for t in combinations(range(g.n_v), q):
+            if all(g.has_edge(u, v) for u in s for v in t):
+                total += 1
+    return total
+
+
+class TestCountPQ:
+    def test_validation(self, g0):
+        with pytest.raises(ValueError):
+            count_pq_bicliques(g0, 0, 1)
+        with pytest.raises(ValueError):
+            count_pq_bicliques(g0, 1, 1, anchor="x")
+
+    def test_11_counts_edges(self, g0):
+        assert count_pq_bicliques(g0, 1, 1) == g0.n_edges
+
+    def test_g0_shapes(self, g0):
+        for p, q in ((2, 1), (1, 2), (2, 2), (3, 2), (2, 3)):
+            assert count_pq_bicliques(g0, p, q) == brute_count(g0, p, q)
+
+    def test_complete_graph_closed_form(self):
+        g = BipartiteGraph([(u, v) for u in range(4) for v in range(5)])
+        for p in (1, 2, 3):
+            for q in (1, 2, 3):
+                assert count_pq_bicliques(g, p, q) == comb(4, p) * comb(5, q)
+
+    def test_shape_larger_than_graph(self, g0):
+        assert count_pq_bicliques(g0, 6, 1) == 0
+        assert count_pq_bicliques(g0, 1, 5) == 0
+
+    def test_anchors_agree(self, g0):
+        for p, q in ((2, 2), (3, 1)):
+            assert count_pq_bicliques(g0, p, q, anchor="u") == \
+                count_pq_bicliques(g0, p, q, anchor="v")
+
+    def test_empty_graph(self):
+        assert count_pq_bicliques(BipartiteGraph([]), 1, 1) == 0
+
+    @RELAXED
+    @given(g=bipartite_graphs(max_u=6, max_v=6),
+           p=st.integers(1, 3), q=st.integers(1, 3))
+    def test_property_matches_bruteforce(self, g, p, q):
+        assert count_pq_bicliques(g, p, q) == brute_count(g, p, q)
+
+
+class TestIterPQ:
+    def test_yields_match_count(self, g0):
+        from repro.analysis import iter_pq_bicliques
+
+        for p, q in ((1, 1), (2, 2), (3, 2)):
+            items = list(iter_pq_bicliques(g0, p, q))
+            assert len(items) == count_pq_bicliques(g0, p, q)
+            assert len(set(items)) == len(items)  # no duplicates
+            for s, t in items:
+                assert len(s) == p and len(t) == q
+                assert all(g0.has_edge(u, v) for u in s for v in t)
+
+    def test_validation(self, g0):
+        from repro.analysis import iter_pq_bicliques
+
+        with pytest.raises(ValueError):
+            list(iter_pq_bicliques(g0, 0, 1))
+
+    def test_lazy(self, g0):
+        from repro.analysis import iter_pq_bicliques
+
+        gen = iter_pq_bicliques(g0, 1, 1)
+        first = next(gen)
+        assert g0.has_edge(first[0][0], first[1][0])
+        gen.close()
+
+
+class TestCountTable:
+    def test_table_shape(self, g0):
+        table = count_pq_table(g0, 2, 3)
+        assert set(table) == {(p, q) for p in (1, 2) for q in (1, 2, 3)}
+        assert table[(1, 1)] == g0.n_edges
+
+    def test_table_validation(self, g0):
+        with pytest.raises(ValueError):
+            count_pq_table(g0, 0, 1)
+
+    def test_table_cells_match_single_counts(self, g0):
+        # counts are NOT monotone in shape (subset combinatorics), so the
+        # table is validated cell-by-cell against brute force
+        table = count_pq_table(g0, 3, 3)
+        for (p, q), value in table.items():
+            assert value == brute_count(g0, p, q)

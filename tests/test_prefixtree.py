@@ -1,0 +1,224 @@
+"""Tests for the prefix tree (superset queries, removal, budget)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.prefixtree import PrefixTree
+from tests.strategies import masks
+
+
+def linear_has_superset(stored: list[int], query: int) -> bool:
+    return any(m & query == query for m in stored)
+
+
+class TestInsertRemove:
+    def test_empty_tree(self):
+        tree = PrefixTree()
+        assert len(tree) == 0
+        assert tree.n_nodes == 1  # just the root
+        assert not tree.has_superset(0b1)
+
+    def test_insert_and_contains(self):
+        tree = PrefixTree()
+        tree.insert(0b1011)
+        assert tree.contains(0b1011)
+        assert not tree.contains(0b1010)
+        assert len(tree) == 1
+
+    def test_multiplicity(self):
+        tree = PrefixTree()
+        tree.insert(0b11)
+        tree.insert(0b11)
+        assert len(tree) == 2
+        tree.remove(0b11)
+        assert tree.contains(0b11)
+        tree.remove(0b11)
+        assert not tree.contains(0b11)
+
+    def test_remove_missing_raises(self):
+        tree = PrefixTree()
+        tree.insert(0b1)
+        with pytest.raises(KeyError):
+            tree.remove(0b10)
+        with pytest.raises(KeyError):
+            tree.remove(0b11)  # prefix exists, terminal does not
+
+    def test_remove_frees_nodes(self):
+        tree = PrefixTree()
+        tree.insert(0b111)
+        nodes_full = tree.n_nodes
+        tree.remove(0b111)
+        assert tree.n_nodes == 1 < nodes_full
+
+    def test_shared_prefix_nodes(self):
+        tree = PrefixTree()
+        tree.insert(0b0011)
+        before = tree.n_nodes
+        tree.insert(0b0111)  # shares the two low bits
+        assert tree.n_nodes == before + 1
+
+    def test_remove_keeps_shared_prefix(self):
+        tree = PrefixTree()
+        tree.insert(0b0011)
+        tree.insert(0b0111)
+        tree.remove(0b0111)
+        assert tree.contains(0b0011)
+        assert not tree.contains(0b0111)
+
+    def test_empty_mask_stored(self):
+        tree = PrefixTree()
+        tree.insert(0)
+        assert tree.contains(0)
+        assert tree.has_superset(0)
+        tree.remove(0)
+        assert not tree.has_superset(0)
+
+    def test_negative_mask_rejected(self):
+        tree = PrefixTree()
+        with pytest.raises(ValueError):
+            tree.insert(-1)
+        with pytest.raises(ValueError):
+            tree.has_superset(-1)
+
+    def test_clear(self):
+        tree = PrefixTree()
+        tree.insert(0b101)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.n_nodes == 1
+
+
+class TestSupersetQueries:
+    def test_exact_match_is_superset(self):
+        tree = PrefixTree()
+        tree.insert(0b110)
+        assert tree.has_superset(0b110)
+
+    def test_proper_superset(self):
+        tree = PrefixTree()
+        tree.insert(0b1110)
+        assert tree.has_superset(0b0100)
+        assert tree.has_superset(0b1010)
+
+    def test_subset_is_not_superset(self):
+        tree = PrefixTree()
+        tree.insert(0b0100)
+        assert not tree.has_superset(0b1100)
+
+    def test_disjoint(self):
+        tree = PrefixTree()
+        tree.insert(0b0011)
+        assert not tree.has_superset(0b0100)
+
+    def test_query_zero_matches_any_stored(self):
+        tree = PrefixTree()
+        assert not tree.has_superset(0)
+        tree.insert(0b1)
+        assert tree.has_superset(0)
+
+    def test_superset_via_extra_low_bits(self):
+        # Stored set has extra elements *below* the query's lowest bit —
+        # exercises the extra-element descent.
+        tree = PrefixTree()
+        tree.insert(0b1101)
+        assert tree.has_superset(0b1100)
+
+    def test_many_distractors(self):
+        tree = PrefixTree()
+        for i in range(20):
+            tree.insert(1 << i)
+        assert not tree.has_superset(0b11)
+        tree.insert(0b11)
+        assert tree.has_superset(0b11)
+
+    @given(st.lists(masks(), max_size=40), masks())
+    def test_matches_linear_scan(self, stored, query):
+        tree = PrefixTree()
+        for m in stored:
+            tree.insert(m)
+        assert tree.has_superset(query) == linear_has_superset(stored, query)
+
+    @given(st.lists(masks(), min_size=1, max_size=30), st.data())
+    def test_matches_linear_scan_after_removals(self, stored, data):
+        tree = PrefixTree()
+        for m in stored:
+            tree.insert(m)
+        to_remove = data.draw(
+            st.lists(st.sampled_from(stored), max_size=len(stored))
+        )
+        remaining = list(stored)
+        for m in to_remove:
+            if m in remaining:
+                tree.remove(m)
+                remaining.remove(m)
+        query = data.draw(masks())
+        assert tree.has_superset(query) == linear_has_superset(remaining, query)
+
+    def test_randomized_interleaving(self):
+        rng = random.Random(0)
+        tree = PrefixTree()
+        shadow: list[int] = []
+        for _ in range(3000):
+            action = rng.random()
+            if action < 0.5 or not shadow:
+                m = rng.getrandbits(24)
+                tree.insert(m)
+                shadow.append(m)
+            elif action < 0.8:
+                m = shadow.pop(rng.randrange(len(shadow)))
+                tree.remove(m)
+            else:
+                q = rng.getrandbits(rng.choice([4, 8, 24]))
+                assert tree.has_superset(q) == linear_has_superset(shadow, q)
+        assert len(tree) == len(shadow)
+
+
+class TestBudget:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            PrefixTree(max_nodes=0)
+
+    def test_rejects_when_full(self):
+        tree = PrefixTree(max_nodes=4)
+        assert tree.insert(0b111)  # needs 3 nodes + root
+        assert not tree.insert(0b111000)  # would blow the budget
+        assert tree.rejected_inserts == 1
+        assert len(tree) == 1
+
+    def test_rejected_insert_changes_nothing(self):
+        tree = PrefixTree(max_nodes=3)
+        tree.insert(0b11)
+        nodes = tree.n_nodes
+        assert not tree.insert(0b11100)
+        assert tree.n_nodes == nodes
+        assert not tree.contains(0b11100)
+
+    def test_budget_never_exceeded(self):
+        rng = random.Random(2)
+        tree = PrefixTree(max_nodes=32)
+        for _ in range(500):
+            tree.insert(rng.getrandbits(30))
+            assert tree.n_nodes <= 32
+
+    def test_peak_tracked(self):
+        tree = PrefixTree()
+        tree.insert(0b1111)
+        tree.remove(0b1111)
+        assert tree.peak_nodes == 5
+        assert tree.n_nodes == 1
+
+
+class TestInstrumentation:
+    def test_query_counters_advance(self):
+        tree = PrefixTree()
+        tree.insert(0b101)
+        tree.insert(0b011)
+        tree.has_superset(0b001)
+        assert tree.queries == 1
+        assert tree.scan_equivalent == 2
+        assert tree.node_visits >= 1

@@ -1,0 +1,65 @@
+"""Tests for the threshold-core reduction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import BipartiteGraph, run_mbe
+from repro.bigraph.reduce import threshold_core
+from tests.strategies import bipartite_graphs
+
+RELAXED = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestThresholdCore:
+    def test_trivial_thresholds_return_input(self, g0):
+        core, du, dv = threshold_core(g0, 1, 1)
+        assert core is g0 and du == dv == 0
+
+    def test_threshold_validation(self, g0):
+        with pytest.raises(ValueError):
+            threshold_core(g0, 0, 1)
+
+    def test_star_peeled_for_balanced_mining(self):
+        # a star has |L| = 1 everywhere; (2,2) peeling kills it entirely
+        g = BipartiteGraph([(0, v) for v in range(5)])
+        core, du, dv = threshold_core(g, 2, 2)
+        assert core.n_edges == 0
+        assert du == 1 and dv == 5
+
+    def test_block_survives(self):
+        g = BipartiteGraph([(u, v) for u in range(3) for v in range(3)])
+        core, du, dv = threshold_core(g, 3, 3)
+        assert core.n_edges == 9 and du == dv == 0
+
+    def test_cascading_peel(self):
+        # u1 hangs off the block through v2 only; peeling it then drops v2
+        edges = [(u, v) for u in (0,) for v in (0, 1)] + [(1, 2), (0, 2)]
+        g = BipartiteGraph(edges)
+        core, du, dv = threshold_core(g, 2, 2)
+        assert core.n_edges == 0  # nothing satisfies a 2x2 core here
+
+    def test_id_space_preserved(self, g0):
+        core, _du, _dv = threshold_core(g0, 2, 2)
+        assert (core.n_u, core.n_v) == (g0.n_u, g0.n_v)
+
+    @RELAXED
+    @given(g=bipartite_graphs(), p=st.integers(1, 4), q=st.integers(1, 4))
+    def test_reduction_is_exact_for_constrained_mbe(self, g, p, q):
+        core, _du, _dv = threshold_core(g, p, q)
+        direct = run_mbe(g, "mbet", min_left=p, min_right=q).biclique_set()
+        reduced = run_mbe(core, "mbet", min_left=p, min_right=q).biclique_set()
+        assert reduced == direct
+
+    @RELAXED
+    @given(g=bipartite_graphs(), p=st.integers(2, 4), q=st.integers(2, 4))
+    def test_core_degrees_meet_thresholds(self, g, p, q):
+        core, _du, _dv = threshold_core(g, p, q)
+        for u in range(core.n_u):
+            assert core.degree_u(u) == 0 or core.degree_u(u) >= q
+        for v in range(core.n_v):
+            assert core.degree_v(v) == 0 or core.degree_v(v) >= p

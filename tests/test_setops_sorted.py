@@ -1,0 +1,166 @@
+"""Unit and property tests for the sorted-sequence set operations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.setops.sorted_ops import (
+    galloping_intersect,
+    intersect,
+    intersect_size,
+    is_strict_subset,
+    is_subset,
+    multi_intersect,
+    set_difference,
+    union,
+    union_many,
+)
+from tests.strategies import sorted_unique_ints
+
+
+class TestIntersect:
+    def test_basic_overlap(self):
+        assert intersect([1, 3, 5, 7], [3, 4, 5, 6]) == [3, 5]
+
+    def test_disjoint(self):
+        assert intersect([1, 2], [3, 4]) == []
+
+    def test_identical(self):
+        assert intersect([1, 2, 3], [1, 2, 3]) == [1, 2, 3]
+
+    def test_empty_left(self):
+        assert intersect([], [1, 2]) == []
+
+    def test_empty_right(self):
+        assert intersect([1, 2], []) == []
+
+    def test_both_empty(self):
+        assert intersect([], []) == []
+
+    def test_containment(self):
+        assert intersect([2, 4], [1, 2, 3, 4, 5]) == [2, 4]
+
+    def test_single_elements(self):
+        assert intersect([5], [5]) == [5]
+        assert intersect([5], [6]) == []
+
+    @given(sorted_unique_ints(), sorted_unique_ints())
+    def test_matches_set_semantics(self, a, b):
+        assert intersect(a, b) == sorted(set(a) & set(b))
+
+
+class TestIntersectSize:
+    def test_counts_without_materializing(self):
+        assert intersect_size([1, 2, 3], [2, 3, 4]) == 2
+
+    def test_zero(self):
+        assert intersect_size([1], [2]) == 0
+
+    @given(sorted_unique_ints(), sorted_unique_ints())
+    def test_matches_intersect_length(self, a, b):
+        assert intersect_size(a, b) == len(intersect(a, b))
+
+
+class TestGallopingIntersect:
+    def test_lopsided(self):
+        big = list(range(0, 1000, 3))
+        assert galloping_intersect([9, 300, 999], big) == [9, 300, 999]
+
+    def test_short_side_swap(self):
+        # works regardless of which argument is shorter
+        assert galloping_intersect(list(range(100)), [50]) == [50]
+
+    def test_no_match_past_end(self):
+        assert galloping_intersect([1000], list(range(10))) == []
+
+    @given(sorted_unique_ints(), sorted_unique_ints(max_size=120, max_value=500))
+    def test_agrees_with_merge_intersect(self, a, b):
+        assert galloping_intersect(a, b) == intersect(a, b)
+
+
+class TestUnion:
+    def test_interleaved(self):
+        assert union([1, 3], [2, 4]) == [1, 2, 3, 4]
+
+    def test_duplicates_collapse(self):
+        assert union([1, 2], [2, 3]) == [1, 2, 3]
+
+    def test_empty_sides(self):
+        assert union([], [1]) == [1]
+        assert union([1], []) == [1]
+        assert union([], []) == []
+
+    @given(sorted_unique_ints(), sorted_unique_ints())
+    def test_matches_set_semantics(self, a, b):
+        assert union(a, b) == sorted(set(a) | set(b))
+
+
+class TestUnionMany:
+    def test_empty_collection(self):
+        assert union_many([]) == []
+
+    def test_three_rows(self):
+        assert union_many([[1, 5], [2, 5], [1, 9]]) == [1, 2, 5, 9]
+
+    @given(sorted_unique_ints(), sorted_unique_ints(), sorted_unique_ints())
+    def test_matches_set_semantics(self, a, b, c):
+        assert union_many([a, b, c]) == sorted(set(a) | set(b) | set(c))
+
+
+class TestSetDifference:
+    def test_basic(self):
+        assert set_difference([1, 2, 3, 4], [2, 4]) == [1, 3]
+
+    def test_remove_nothing(self):
+        assert set_difference([1, 2], [5]) == [1, 2]
+
+    def test_remove_all(self):
+        assert set_difference([1, 2], [1, 2, 3]) == []
+
+    @given(sorted_unique_ints(), sorted_unique_ints())
+    def test_matches_set_semantics(self, a, b):
+        assert set_difference(a, b) == sorted(set(a) - set(b))
+
+
+class TestSubset:
+    def test_empty_is_subset(self):
+        assert is_subset([], [1, 2])
+        assert is_subset([], [])
+
+    def test_equal_sets(self):
+        assert is_subset([1, 2], [1, 2])
+        assert not is_strict_subset([1, 2], [1, 2])
+
+    def test_strict(self):
+        assert is_strict_subset([2], [1, 2, 3])
+
+    def test_longer_never_subset(self):
+        assert not is_subset([1, 2, 3], [1, 2])
+
+    def test_missing_element(self):
+        assert not is_subset([1, 4], [1, 2, 3])
+
+    @given(sorted_unique_ints(), sorted_unique_ints())
+    def test_matches_set_semantics(self, a, b):
+        assert is_subset(a, b) == set(a).issubset(set(b))
+        assert is_strict_subset(a, b) == (set(a) < set(b))
+
+
+class TestMultiIntersect:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            multi_intersect([])
+
+    def test_single_row(self):
+        assert multi_intersect([[1, 2, 3]]) == [1, 2, 3]
+
+    def test_shrinks_to_empty(self):
+        assert multi_intersect([[1, 2], [2, 3], [3, 4]]) == []
+
+    def test_common_core(self):
+        assert multi_intersect([[1, 2, 9], [2, 5, 9], [2, 9]]) == [2, 9]
+
+    @given(sorted_unique_ints(), sorted_unique_ints(), sorted_unique_ints())
+    def test_matches_set_semantics(self, a, b, c):
+        assert multi_intersect([a, b, c]) == sorted(set(a) & set(b) & set(c))

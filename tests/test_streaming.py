@@ -1,0 +1,183 @@
+"""Tests for dynamic maximal-biclique maintenance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Biclique, BipartiteGraph, run_mbe
+from repro.streaming import DynamicMBE
+from tests.conftest import G0_MAXIMAL, make_g0
+
+
+def recompute(d: DynamicMBE) -> frozenset[Biclique]:
+    if d.n_edges == 0:
+        return frozenset()
+    return frozenset(run_mbe(d.as_graph(), "mbet").bicliques)
+
+
+class TestConstruction:
+    def test_empty_start(self):
+        d = DynamicMBE()
+        assert d.n_edges == 0
+        assert d.bicliques == frozenset()
+
+    def test_seeded_from_graph(self, g0):
+        d = DynamicMBE(g0)
+        assert d.n_edges == 12
+        assert d.bicliques == G0_MAXIMAL
+
+    def test_as_graph_roundtrip(self, g0):
+        assert DynamicMBE(g0).as_graph() == g0
+
+
+class TestInsertion:
+    def test_first_edge(self):
+        d = DynamicMBE()
+        result = d.insert_edge(3, 5)
+        assert result.added == [Biclique.make([3], [5])]
+        assert result.removed == []
+        assert d.has_edge(3, 5)
+
+    def test_duplicate_insert_rejected(self):
+        d = DynamicMBE()
+        d.insert_edge(0, 0)
+        with pytest.raises(ValueError, match="already present"):
+            d.insert_edge(0, 0)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicMBE().insert_edge(-1, 0)
+
+    def test_merge_two_stars(self):
+        # u0-v0 and u1-v1 exist; adding u0-v1 creates ({u0},{v0,v1}) and
+        # ({u0,u1},{v1}) while killing ({u0},{v0}).
+        d = DynamicMBE()
+        d.insert_edge(0, 0)
+        d.insert_edge(1, 1)
+        result = d.insert_edge(0, 1)
+        assert Biclique.make([0], [0]) in result.removed
+        assert d.bicliques == recompute(d)
+
+    def test_update_result_net(self):
+        d = DynamicMBE()
+        r = d.insert_edge(0, 0)
+        assert r.net == 1
+
+    def test_incremental_equals_batch_on_g0(self):
+        d = DynamicMBE()
+        for u, v in make_g0().edges():
+            d.insert_edge(u, v)
+            assert d.bicliques == recompute(d)
+        assert d.bicliques == G0_MAXIMAL
+
+
+class TestDeletion:
+    def test_delete_only_edge(self):
+        d = DynamicMBE()
+        d.insert_edge(0, 0)
+        result = d.delete_edge(0, 0)
+        assert result.removed == [Biclique.make([0], [0])]
+        assert d.bicliques == frozenset()
+        assert d.n_edges == 0
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(KeyError):
+            DynamicMBE().delete_edge(0, 0)
+
+    def test_delete_splits_biclique(self):
+        # complete 2x2 minus one edge leaves two overlapping bicliques
+        d = DynamicMBE(BipartiteGraph([(0, 0), (0, 1), (1, 0), (1, 1)]))
+        result = d.delete_edge(0, 0)
+        assert Biclique.make([0, 1], [0, 1]) in result.removed
+        assert d.bicliques == {
+            Biclique.make([1], [0, 1]),
+            Biclique.make([0, 1], [1]),
+        }
+
+    def test_teardown_g0_edge_by_edge(self, g0):
+        d = DynamicMBE(g0)
+        for u, v in list(g0.edges()):
+            d.delete_edge(u, v)
+            assert d.bicliques == recompute(d)
+        assert d.bicliques == frozenset()
+
+    def test_insert_then_delete_is_identity(self, g0):
+        d = DynamicMBE(g0)
+        before = d.bicliques
+        d.insert_edge(4, 0)
+        d.delete_edge(4, 0)
+        assert d.bicliques == before
+
+
+class TestApplyBatch:
+    def test_batch_builds_g0(self, g0):
+        d = DynamicMBE()
+        result = d.apply([("+", u, v) for u, v in g0.edges()])
+        assert d.bicliques == G0_MAXIMAL
+        assert set(result.added) == G0_MAXIMAL
+        assert result.removed == []
+
+    def test_transients_cancel(self):
+        d = DynamicMBE()
+        result = d.apply([("+", 0, 0), ("-", 0, 0)])
+        assert result.added == [] and result.removed == []
+        assert d.bicliques == frozenset()
+
+    def test_net_change_matches_states(self, g0):
+        d = DynamicMBE(g0)
+        before = d.bicliques
+        result = d.apply([("-", 0, 0), ("+", 4, 0), ("-", 1, 3)])
+        after = d.bicliques
+        assert set(result.added) == after - before
+        assert set(result.removed) == before - after
+
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError, match="unknown stream operation"):
+            DynamicMBE().apply([("?", 0, 0)])
+
+    def test_results_sorted(self, g0):
+        d = DynamicMBE()
+        result = d.apply([("+", u, v) for u, v in g0.edges()])
+        assert result.added == sorted(result.added)
+
+
+class TestRandomizedMaintenance:
+    def test_long_mixed_sequence(self):
+        rng = random.Random(5)
+        d = DynamicMBE()
+        edges: set[tuple[int, int]] = set()
+        cells = [(u, v) for u in range(6) for v in range(6)]
+        for _ in range(150):
+            if edges and rng.random() < 0.4:
+                e = rng.choice(sorted(edges))
+                edges.discard(e)
+                d.delete_edge(*e)
+            else:
+                free = [c for c in cells if c not in edges]
+                if not free:
+                    continue
+                e = rng.choice(free)
+                edges.add(e)
+                d.insert_edge(*e)
+            assert d.bicliques == recompute(d)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), st.booleans()),
+            max_size=25,
+        )
+    )
+    def test_property_arbitrary_update_sequences(self, ops):
+        d = DynamicMBE()
+        for u, v, is_insert in ops:
+            if is_insert and not d.has_edge(u, v):
+                d.insert_edge(u, v)
+            elif not is_insert and d.has_edge(u, v):
+                d.delete_edge(u, v)
+        assert d.bicliques == recompute(d)

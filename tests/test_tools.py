@@ -1,0 +1,46 @@
+"""Tests for the repository tooling (tools/build_experiments_md.py)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = ROOT / "tools" / "build_experiments_md.py"
+
+
+def run_tool(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+class TestBuildExperimentsMd:
+    def test_usage_without_args(self):
+        proc = run_tool()
+        assert proc.returncode == 2
+        assert "Usage" in proc.stdout or "Assemble" in proc.stdout
+
+    def test_assembles_preamble_and_body(self, tmp_path):
+        source = tmp_path / "harness.md"
+        source.write_text("### R-T1: Something\n\n\n\n| a |\n|---|\n| 1 |\n")
+        target = tmp_path / "out.md"
+        proc = run_tool(str(source), str(target))
+        assert proc.returncode == 0
+        text = target.read_text()
+        assert text.startswith("# EXPERIMENTS")
+        assert "### R-T1: Something" in text
+        # triple blank lines collapsed
+        assert "\n\n\n" not in text
+
+    def test_existing_experiments_md_is_well_formed(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        assert text.count("### R-") == 16
+        assert "Verdict" in text
+        # every experiment id in the summary table has a section
+        for exp_id in ("R-T1", "R-T2", "R-F1", "R-F10", "R-E1", "R-E4"):
+            assert f"### {exp_id}:" in text

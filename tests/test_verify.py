@@ -1,0 +1,74 @@
+"""Tests for the verification helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Biclique, is_biclique, is_maximal_biclique, verify_result
+from repro.core.verify import VerificationError
+from tests.conftest import G0_MAXIMAL
+
+
+class TestIsBiclique:
+    def test_valid(self, g0):
+        assert is_biclique(g0, [0, 1], [0, 1])
+
+    def test_missing_edge(self, g0):
+        assert not is_biclique(g0, [0, 4], [0])  # u4 not adjacent to v0
+
+    def test_empty_sides_rejected(self, g0):
+        assert not is_biclique(g0, [], [0])
+        assert not is_biclique(g0, [0], [])
+
+
+class TestIsMaximal:
+    def test_all_g0_maximal(self, g0):
+        for b in G0_MAXIMAL:
+            assert is_maximal_biclique(g0, b.left, b.right)
+
+    def test_extendable_left(self, g0):
+        # ({u0}, {v0, v1, v2}) extends to ({u0, u1}, ...)
+        assert not is_maximal_biclique(g0, [0], [0, 1, 2])
+
+    def test_extendable_right(self, g0):
+        # ({u0, u1}, {v0, v1}) extends by v2
+        assert not is_maximal_biclique(g0, [0, 1], [0, 1])
+
+    def test_non_biclique_is_not_maximal(self, g0):
+        assert not is_maximal_biclique(g0, [0, 4], [0])
+
+
+class TestVerifyResult:
+    def test_accepts_correct_set(self, g0):
+        assert verify_result(g0, G0_MAXIMAL, expected=G0_MAXIMAL) == 6
+
+    def test_detects_duplicates(self, g0):
+        b = next(iter(G0_MAXIMAL))
+        with pytest.raises(VerificationError, match="duplicate"):
+            verify_result(g0, [b, b])
+
+    def test_detects_non_biclique(self, g0):
+        with pytest.raises(VerificationError, match="not a biclique"):
+            verify_result(g0, [Biclique.make([0, 4], [0])])
+
+    def test_detects_non_maximal(self, g0):
+        with pytest.raises(VerificationError, match="not maximal"):
+            verify_result(g0, [Biclique.make([0], [0, 1, 2])])
+
+    def test_detects_non_canonical(self, g0):
+        bad = Biclique((1, 0), (0, 1, 2))  # unsorted left, bypasses make()
+        with pytest.raises(VerificationError, match="non-canonical"):
+            verify_result(g0, [bad])
+
+    def test_detects_missing(self, g0):
+        some = list(G0_MAXIMAL)[:4]
+        with pytest.raises(VerificationError, match="missing"):
+            verify_result(g0, some, expected=G0_MAXIMAL)
+
+    def test_detects_unexpected(self, g0):
+        expected = list(G0_MAXIMAL)[:5]
+        with pytest.raises(VerificationError, match="unexpected"):
+            verify_result(g0, G0_MAXIMAL, expected=expected)
+
+    def test_empty_result_empty_expectation(self, g0):
+        assert verify_result(g0, [], expected=[]) == 0
