@@ -46,6 +46,7 @@ from repro.bigraph.components import (
     connected_components,
     run_mbe_per_component,
 )
+from repro.bigraph.io import GraphFormatError
 from repro.bigraph.ordering import degeneracy_order
 from repro.bigraph.reduce import threshold_core
 from repro.bigraph.matrix import (
@@ -70,6 +71,14 @@ from repro.core import (
     run_mbe,
     verify_result,
 )
+from repro.runtime import (
+    BudgetExceeded,
+    CheckpointError,
+    CheckpointWriter,
+    FaultPlan,
+    RunBudget,
+    load_checkpoint,
+)
 from repro.streaming import DynamicMBE, UpdateResult
 
 __version__ = "1.0.0"
@@ -78,16 +87,22 @@ __all__ = [
     "Biclique",
     "BicliqueSummary",
     "BipartiteGraph",
+    "BudgetExceeded",
+    "CheckpointError",
+    "CheckpointWriter",
     "DynamicMBE",
     "EnumerationLimits",
     "EnumerationStats",
+    "FaultPlan",
     "GraphBuilder",
+    "GraphFormatError",
     "GraphStats",
     "MBEResult",
     "MBET",
     "MBETIterative",
     "MBETM",
     "MaximumBicliqueResult",
+    "RunBudget",
     "UpdateResult",
     "__version__",
     "available_algorithms",
@@ -106,6 +121,7 @@ __all__ = [
     "is_biclique",
     "is_maximal_biclique",
     "iter_pq_bicliques",
+    "load_checkpoint",
     "planted_bicliques",
     "powerlaw_bipartite",
     "random_bipartite",

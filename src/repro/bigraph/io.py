@@ -22,20 +22,30 @@ from repro.bigraph.builder import GraphBuilder
 from repro.bigraph.graph import BipartiteGraph
 
 
-class EdgeListFormatError(ValueError):
-    """Raised when an edge-list file cannot be parsed."""
+class GraphFormatError(ValueError):
+    """Raised when a graph file cannot be parsed.
+
+    Every message carries ``path`` (and, where known, ``:line``) context so
+    the one exception type is enough to locate the defect in the input; all
+    reader-side failures — bad columns, bad ids, undecodable bytes — funnel
+    through it.
+    """
+
+
+#: Backward-compatible alias (the original, narrower exception name).
+EdgeListFormatError = GraphFormatError
 
 
 def _parse_pair(line: str, lineno: int, path: str) -> tuple[int, int]:
     parts = line.split()
     if len(parts) < 2:
-        raise EdgeListFormatError(
+        raise GraphFormatError(
             f"{path}:{lineno}: expected at least two columns, got {line!r}"
         )
     try:
         return int(parts[0]), int(parts[1])
     except ValueError as exc:
-        raise EdgeListFormatError(
+        raise GraphFormatError(
             f"{path}:{lineno}: non-integer vertex id in {line!r}"
         ) from exc
 
@@ -60,8 +70,14 @@ def read_edge_list(
         trailing ids.
     """
     path = os.fspath(path)
-    with open(path, encoding="utf-8") as handle:
-        lines = handle.readlines()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except UnicodeDecodeError as exc:
+        raise GraphFormatError(
+            f"{path}: not a text edge list (undecodable byte at "
+            f"offset {exc.start})"
+        ) from exc
 
     if fmt == "auto":
         first = next((ln for ln in lines if ln.strip()), "")
@@ -83,7 +99,7 @@ def read_edge_list(
         u -= offset
         v -= offset
         if u < 0 or v < 0:
-            raise EdgeListFormatError(
+            raise GraphFormatError(
                 f"{path}:{lineno}: id underflow after applying "
                 f"{fmt} offset (got {u}, {v})"
             )

@@ -22,9 +22,10 @@ from typing import Sequence
 from repro import datasets
 from repro.bench.experiments import available_experiments, run_experiment
 from repro.bench.tables import format_table, markdown_table
-from repro.bigraph.io import read_edge_list
+from repro.bigraph.io import GraphFormatError, read_edge_list
 from repro.bigraph.stats import compute_stats
 from repro.core.base import available_algorithms, run_mbe
+from repro.runtime.checkpoint import CheckpointError
 
 
 def _load_graph(args: argparse.Namespace):
@@ -37,20 +38,41 @@ def _load_graph(args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     graph, name = _load_graph(args)
     collect = args.output is not None
+    options = {}
+    if args.checkpoint is not None:
+        if args.algorithm != "parallel":
+            print("error: --checkpoint requires --algorithm parallel",
+                  file=sys.stderr)
+            return 2
+        options["checkpoint"] = args.checkpoint
     result = run_mbe(
         graph,
         algorithm=args.algorithm,
         collect=collect,
         max_bicliques=args.max_bicliques,
         time_limit=args.time_limit,
+        node_limit=args.max_nodes,
+        **options,
     )
-    status = "complete" if result.complete else "stopped at limit"
+    if result.complete:
+        status = "complete"
+    else:
+        status = f"partial: {result.meta.get('stopped', 'task failures')}"
     print(
         f"{args.algorithm} on {name}: {result.count:,} maximal bicliques "
         f"in {result.elapsed:.3f}s ({status})"
     )
     interesting = {k: v for k, v in result.stats.as_dict().items() if v}
     print("stats:", ", ".join(f"{k}={v:,}" for k, v in interesting.items()))
+    if result.meta.get("resumed_tasks"):
+        print(f"resumed {result.meta['resumed_tasks']:,} of "
+              f"{result.meta['tasks']:,} tasks from {args.checkpoint}")
+    for failure in result.meta.get("failures", ()):
+        print(
+            f"task {tuple(failure['task'])} failed after "
+            f"{failure['attempts']} attempts: {failure['error']}",
+            file=sys.stderr,
+        )
     if args.output:
         from repro.core.io_results import write_bicliques
 
@@ -284,6 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=available_algorithms())
     p_run.add_argument("--max-bicliques", type=int, default=None)
     p_run.add_argument("--time-limit", type=float, default=None)
+    p_run.add_argument("--max-nodes", type=int, default=None,
+                       help="stop after this many enumeration-tree nodes")
+    p_run.add_argument("--checkpoint", default=None,
+                       help="JSONL checkpoint file for resumable parallel "
+                            "runs (requires --algorithm parallel)")
     p_run.add_argument("--output", "-o", default=None,
                        help="write bicliques as 'u1,u2\\tv1,v2' lines")
     p_run.set_defaults(func=_cmd_run)
@@ -359,7 +386,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (GraphFormatError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

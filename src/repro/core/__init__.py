@@ -25,6 +25,7 @@ from repro.core.base import (
     available_algorithms,
     run_mbe,
 )
+from repro.runtime import BudgetExceeded, FaultPlan, RunBudget
 from repro.core.bruteforce import BruteForceMBE
 from repro.core.mbea import IMBEA, MBEA, NaiveMBE
 from repro.core.maxsearch import (
@@ -45,8 +46,10 @@ __all__ = [
     "ALGORITHMS",
     "Biclique",
     "BruteForceMBE",
+    "BudgetExceeded",
     "EnumerationLimits",
     "EnumerationStats",
+    "FaultPlan",
     "IMBEA",
     "LimitReached",
     "MBEA",
@@ -61,6 +64,7 @@ __all__ = [
     "ParallelMBE",
     "PMBE",
     "PrefixTree",
+    "RunBudget",
     "available_algorithms",
     "find_maximum_biclique",
     "is_biclique",

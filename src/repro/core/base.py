@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.bigraph.graph import BipartiteGraph
+from repro.runtime.budget import NULL_GUARD, BudgetExceeded, BudgetGuard, RunBudget
 
 
 @dataclass(frozen=True, order=True)
@@ -95,8 +96,12 @@ class EnumerationStats:
         return f"EnumerationStats({body})"
 
 
-class LimitReached(Exception):
-    """Raised internally to abort enumeration when a limit is hit."""
+class LimitReached(BudgetExceeded):
+    """Raised internally to abort enumeration when a limit is hit.
+
+    Kept as a subclass of :class:`repro.runtime.budget.BudgetExceeded` for
+    backward compatibility; new code should raise/catch the base class.
+    """
 
 
 @dataclass
@@ -106,6 +111,10 @@ class EnumerationLimits:
     ``max_bicliques`` stops after that many results; ``time_limit`` (seconds)
     stops at the first node boundary past the deadline.  A run cut short is
     flagged ``MBEResult.complete == False`` but keeps everything found.
+
+    This is the thin, stable façade over :class:`repro.runtime.RunBudget`;
+    pass a ``budget`` to :meth:`MBEAlgorithm.run` / :func:`run_mbe` for the
+    full set of stop conditions (node caps, external cancellation).
     """
 
     max_bicliques: int | None = None
@@ -117,6 +126,31 @@ class EnumerationLimits:
             raise ValueError("max_bicliques must be non-negative")
         if self.time_limit is not None and self.time_limit <= 0:
             raise ValueError("time_limit must be positive")
+
+    def as_budget(self) -> RunBudget | None:
+        """Promote to a :class:`RunBudget`; None when nothing is bounded."""
+        self.validate()
+        if self.max_bicliques is None and self.time_limit is None:
+            return None
+        return RunBudget(
+            time_limit=self.time_limit, max_bicliques=self.max_bicliques
+        )
+
+
+def resolve_budget(
+    limits: EnumerationLimits | None, budget: RunBudget | None
+) -> RunBudget | None:
+    """Collapse the two budget-shaped run parameters into one.
+
+    An explicit ``budget`` wins; otherwise ``limits`` is promoted.  Returns
+    None when the run is entirely unbounded (the zero-overhead path).
+    """
+    if budget is not None:
+        budget.validate()
+        return None if budget.unbounded else budget
+    if limits is not None:
+        return limits.as_budget()
+    return None
 
 
 @dataclass
@@ -139,34 +173,42 @@ class MBEResult:
 
 
 class _Sink:
-    """Internal reporter handling collection, counting, and limits."""
+    """Internal reporter: collection and counting only.
 
-    __slots__ = ("collect", "results", "count", "limits", "deadline", "swapped")
+    This is the unbudgeted hot path — no limit branches, no clock reads.
+    Budgeted runs use :class:`_GuardedSink` instead.
+    """
 
-    def __init__(self, collect: bool, limits: EnumerationLimits, swapped: bool):
+    __slots__ = ("collect", "results", "count", "swapped")
+
+    def __init__(self, collect: bool, swapped: bool):
         self.collect = collect
         self.results: list[Biclique] = []
         self.count = 0
-        self.limits = limits
         self.swapped = swapped
-        self.deadline = (
-            time.perf_counter() + limits.time_limit
-            if limits.time_limit is not None
-            else None
-        )
 
     def __call__(self, left: Iterable[int], right: Iterable[int]) -> None:
         self.count += 1
         if self.collect:
             b = Biclique.make(left, right)
             self.results.append(b.swap() if self.swapped else b)
-        if (
-            self.limits.max_bicliques is not None
-            and self.count >= self.limits.max_bicliques
-        ):
-            raise LimitReached
-        if self.deadline is not None and time.perf_counter() > self.deadline:
-            raise LimitReached
+
+
+class _GuardedSink(_Sink):
+    """Reporter that additionally consults a budget guard per result."""
+
+    __slots__ = ("guard",)
+
+    def __init__(self, collect: bool, swapped: bool, guard: BudgetGuard):
+        super().__init__(collect, swapped)
+        self.guard = guard
+
+    def __call__(self, left: Iterable[int], right: Iterable[int]) -> None:
+        self.count += 1
+        if self.collect:
+            b = Biclique.make(left, right)
+            self.results.append(b.swap() if self.swapped else b)
+        self.guard.on_report(self.count)
 
 
 class MBEAlgorithm(ABC):
@@ -179,6 +221,13 @@ class MBEAlgorithm(ABC):
 
     #: registry name, overridden per subclass
     name: str = "abstract"
+
+    #: Active budget guard for the current run.  Enumeration loops call
+    #: ``self._guard.tick()`` once per tree node and
+    #: ``self._guard.check_now()`` at subproblem boundaries; outside a
+    #: budgeted run this is the no-op :data:`NULL_GUARD`, so the unbudgeted
+    #: path pays one attribute lookup and an empty call per node.
+    _guard = NULL_GUARD
 
     def __init__(self, orient_smaller_v: bool = False):
         self.orient_smaller_v = orient_smaller_v
@@ -197,20 +246,29 @@ class MBEAlgorithm(ABC):
         graph: BipartiteGraph,
         collect: bool = True,
         limits: EnumerationLimits | None = None,
+        budget: RunBudget | None = None,
     ) -> MBEResult:
         """Enumerate all maximal bicliques of ``graph``.
 
         With ``collect=False`` only counts and stats are kept, which is what
         the large benchmarks use (storing tens of thousands of bicliques
         would measure the allocator, not the algorithm).
+
+        ``budget`` (or the simpler ``limits``) bounds the run; a tripped
+        budget yields a partial result with ``complete=False`` and the
+        stop reason in ``meta["stopped"]``.
         """
-        limits = limits or EnumerationLimits()
-        limits.validate()
+        budget = resolve_budget(limits, budget)
         work_graph, swapped = (
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
         stats = EnumerationStats()
-        sink = _Sink(collect, limits, swapped)
+        if budget is None:
+            guard = NULL_GUARD
+            sink = _Sink(collect, swapped)
+        else:
+            guard = budget.arm()
+            sink = _GuardedSink(collect, swapped, guard)
 
         # Enumeration recursion is bounded by the V side, but signature
         # chains inside a subtree can be as deep as the largest left
@@ -222,11 +280,15 @@ class MBEAlgorithm(ABC):
             sys.setrecursionlimit(depth_need)
         start = time.perf_counter()
         complete = True
+        stopped: str | None = None
+        self._guard = guard
         try:
             self._enumerate(work_graph, sink, stats)
-        except LimitReached:
+        except BudgetExceeded as exc:
             complete = False
+            stopped = exc.reason or guard.reason or "limit"
         finally:
+            self._guard = NULL_GUARD
             if depth_need > old_limit:
                 sys.setrecursionlimit(old_limit)
         elapsed = time.perf_counter() - start
@@ -238,6 +300,7 @@ class MBEAlgorithm(ABC):
             stats=stats,
             bicliques=sink.results if collect else None,
             complete=complete,
+            meta={"stopped": stopped} if stopped else {},
         )
 
 
@@ -267,9 +330,18 @@ def run_mbe(
     collect: bool = True,
     max_bicliques: int | None = None,
     time_limit: float | None = None,
+    node_limit: int | None = None,
+    budget: RunBudget | None = None,
     **options,
 ) -> MBEResult:
     """Run a registered algorithm by name — the library's main entry point.
+
+    ``max_bicliques`` / ``time_limit`` / ``node_limit`` are shorthand for
+    a :class:`~repro.runtime.RunBudget`; pass ``budget`` directly for the
+    full set of stop conditions (external cancellation, custom check
+    interval).  The enumeration-node cap is named ``node_limit`` here
+    because ``max_nodes`` is already MBETM's trie-budget constructor
+    option, which ``**options`` forwards.
 
     >>> from repro import BipartiteGraph, run_mbe
     >>> g = BipartiteGraph([(0, 0), (0, 1), (1, 0), (1, 1), (2, 1)])
@@ -283,5 +355,12 @@ def run_mbe(
             f"unknown algorithm {algorithm!r}; available: {available_algorithms()}"
         ) from None
     algo = factory(**options)
-    limits = EnumerationLimits(max_bicliques=max_bicliques, time_limit=time_limit)
-    return algo.run(graph, collect=collect, limits=limits)
+    if budget is None and (
+        max_bicliques is not None or time_limit is not None or node_limit is not None
+    ):
+        budget = RunBudget(
+            time_limit=time_limit,
+            max_bicliques=max_bicliques,
+            max_nodes=node_limit,
+        )
+    return algo.run(graph, collect=collect, budget=budget)

@@ -47,6 +47,7 @@ class BruteForceMBE(MBEAlgorithm):
         for size in range(1, len(active) + 1):
             for rs in combinations(active, size):
                 stats.nodes += 1
+                self._guard.tick()
                 left = multi_intersect([graph.neighbors_v(v) for v in rs])
                 stats.intersections += len(rs)
                 if not left:

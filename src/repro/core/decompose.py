@@ -31,6 +31,7 @@ from typing import Iterator
 
 from repro.bigraph.graph import BipartiteGraph
 from repro.bigraph.ordering import rank_of, vertex_order
+from repro.runtime.budget import NULL_GUARD, BudgetGuard
 from repro.setops.bitmap import SignatureSpace
 
 
@@ -102,12 +103,24 @@ def build_subproblem(
 
 
 def iter_subproblems(
-    graph: BipartiteGraph, order_strategy: str = "degree", seed: int = 0
+    graph: BipartiteGraph,
+    order_strategy: str = "degree",
+    seed: int = 0,
+    guard: BudgetGuard = NULL_GUARD,
 ) -> Iterator[Subproblem]:
-    """Yield the non-pruned subproblems of ``graph`` in enumeration order."""
+    """Yield the non-pruned subproblems of ``graph`` in enumeration order.
+
+    ``guard`` is probed (unamortized) once per *root vertex*, before the
+    subproblem is built.  The probe must live here rather than in the
+    consumer's loop: on graphs where long stretches of roots are
+    containment-pruned, the generator burns all the time without ever
+    yielding, and a deadline checked only per yielded subproblem would
+    never bind.
+    """
     order = vertex_order(graph, order_strategy, seed=seed)
     rank = rank_of(order)
     for v in order:
+        guard.check_now()
         sub = build_subproblem(graph, v, rank)
         if sub is not None:
             yield sub

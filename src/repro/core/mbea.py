@@ -56,6 +56,7 @@ class NaiveMBE(MBEAlgorithm):
         stats: EnumerationStats,
     ) -> None:
         stats.nodes += 1
+        self._guard.tick()
         n = len(cands)
         for i in range(n):
             x = cands[i]
@@ -122,6 +123,7 @@ class _QSearchBase(MBEAlgorithm):
         stats: EnumerationStats,
     ) -> None:
         stats.nodes += 1
+        self._guard.tick()
         if self.sort_candidates:
             sizes = {
                 w: len(left & graph.neighbors_v_set(w)) for w in cands

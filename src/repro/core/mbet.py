@@ -165,7 +165,13 @@ class MBET(MBEAlgorithm):
         report: Callable[[Sequence[int], Sequence[int]], None],
         stats: EnumerationStats,
     ) -> None:
-        for sub in iter_subproblems(graph, self.order, seed=self.seed):
+        # iter_subproblems probes the guard per root vertex, so a deadline
+        # binds even when whole stretches of subproblems are pruned or
+        # report nothing (the node-level tick alone would let a barren
+        # prefix run long past it).
+        for sub in iter_subproblems(
+            graph, self.order, seed=self.seed, guard=self._guard
+        ):
             if not self._accept_subproblem(sub, stats):
                 continue
             stats.subtrees += 1
@@ -278,6 +284,7 @@ class MBET(MBEAlgorithm):
         to slice a root loop across tasks.
         """
         stats.nodes += 1
+        self._guard.tick()
         tokens = []
         n = len(groups)
         n_branch = n if branch_limit is None else min(branch_limit, n)

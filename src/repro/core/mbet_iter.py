@@ -62,6 +62,7 @@ class MBETIterative(MBET):
         )
         stack = [_Frame(right, groups, root_limit, suffix_counts(groups))]
         stats.nodes += 1
+        self._guard.tick()
         while stack:
             frame = stack[-1]
             if frame.pending is not None:
@@ -108,6 +109,7 @@ class MBETIterative(MBET):
             if child:
                 child_groups = self._group(child, stats)
                 stats.nodes += 1
+                self._guard.tick()
                 stack.append(
                     _Frame(
                         tuple(new_right),

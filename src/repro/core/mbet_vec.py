@@ -131,6 +131,7 @@ class MBETVectorized(MBET):
         stats: EnumerationStats,
     ) -> None:
         stats.nodes += 1
+        self._guard.tick()
         tokens = []
         n = len(verts)
         constrained = self.min_left > 1 or self.min_right > 1

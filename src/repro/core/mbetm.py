@@ -23,6 +23,7 @@ from repro.bigraph.graph import BipartiteGraph
 from repro.core.base import Biclique, EnumerationStats, register
 from repro.core.decompose import iter_subproblems
 from repro.core.mbet import MBET
+from repro.runtime.budget import NULL_GUARD, BudgetExceeded, RunBudget
 
 #: Default prefix-tree node budget (per subtree), chosen so the trie fits
 #: comfortably in cache while still absorbing the common case.
@@ -67,29 +68,40 @@ class MBETM(MBET):
         return self.trie_max_nodes
 
     def iter_bicliques(
-        self, graph: BipartiteGraph
+        self, graph: BipartiteGraph, budget: RunBudget | None = None
     ) -> Iterator[tuple[float, Biclique]]:
         """Yield ``(seconds_since_start, biclique)`` progressively.
 
         Results stream out after each first-level subtree completes, so a
         consumer can plot cumulative output over time or stop early without
-        paying for the full enumeration.
+        paying for the full enumeration.  An optional ``budget`` bounds the
+        walk; when it trips, the generator simply stops yielding (the
+        already-yielded prefix is exact).
         """
         work_graph, swapped = (
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
         stats = EnumerationStats()
+        guard = budget.arm() if budget is not None else NULL_GUARD
         start = time.perf_counter()
-        for sub in iter_subproblems(work_graph, self.order, seed=self.seed):
-            if not self._accept_subproblem(sub, stats):
-                continue
-            stats.subtrees += 1
-            batch: list[Biclique] = []
+        self._guard = guard
+        try:
+            for sub in iter_subproblems(
+                work_graph, self.order, seed=self.seed, guard=guard
+            ):
+                if not self._accept_subproblem(sub, stats):
+                    continue
+                stats.subtrees += 1
+                batch: list[Biclique] = []
 
-            def collect(left, right, _batch=batch):
-                _batch.append(Biclique.make(left, right))
+                def collect(left, right, _batch=batch):
+                    _batch.append(Biclique.make(left, right))
 
-            self._run_subproblem(sub, collect, stats)
-            now = time.perf_counter() - start
-            for b in batch:
-                yield (now, b.swap() if swapped else b)
+                self._run_subproblem(sub, collect, stats)
+                now = time.perf_counter() - start
+                for b in batch:
+                    yield (now, b.swap() if swapped else b)
+        except BudgetExceeded:
+            return
+        finally:
+            self._guard = NULL_GUARD

@@ -37,7 +37,9 @@ class OOMBEA(MBEAlgorithm):
         report: Callable[[Sequence[int], Sequence[int]], None],
         stats: EnumerationStats,
     ) -> None:
-        for sub in iter_subproblems(graph, self.order, seed=self.seed):
+        for sub in iter_subproblems(
+            graph, self.order, seed=self.seed, guard=self._guard
+        ):
             stats.subtrees += 1
             space = sub.space
             report(space.universe, sub.right)
@@ -62,6 +64,7 @@ class OOMBEA(MBEAlgorithm):
     ) -> None:
         """Inner recursion; candidates carry their local neighbourhood sets."""
         stats.nodes += 1
+        self._guard.tick()
         q = list(traversed)
         n = len(cands)
         for i in range(n):

@@ -15,6 +15,17 @@ distribution *load-aware*:
 * **LPT scheduling.**  Tasks are dispatched largest-estimate-first to the
   process pool, the classic longest-processing-time heuristic.
 
+On top of the distribution sits the **resilient runtime**
+(:mod:`repro.runtime`): execution goes through a
+:class:`~repro.runtime.ResilientExecutor` that survives worker crashes and
+stalls (bounded retries with exponential backoff, oversized tasks re-split
+into root slices on retry), enforces run budgets (wall-clock deadline,
+result cap) via per-task sub-deadlines plus a shared cancel event, and can
+persist completed tasks to a JSONL **checkpoint** so a killed run resumes
+without redoing finished subtrees.  Unrecoverable failures never raise:
+the run returns a partial :class:`MBEResult` with ``complete=False`` and
+per-task failure records in ``meta``.
+
 Workers are forked with the graph shipped once through the pool
 initializer; each task reconstructs its subproblem locally (cheap relative
 to enumerating it) and returns counts, stats, and optionally the bicliques.
@@ -26,7 +37,11 @@ itself is exercised and verified regardless.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+
 from repro.bigraph.graph import BipartiteGraph
 from repro.bigraph.ordering import rank_of, vertex_order
 from repro.core.base import (
@@ -36,46 +51,166 @@ from repro.core.base import (
     MBEAlgorithm,
     MBEResult,
     register,
+    resolve_budget,
 )
 from repro.core.decompose import build_subproblem
 from repro.core.mbet import MBET
+from repro.runtime.budget import NULL_GUARD, BudgetExceeded, RunBudget
+from repro.runtime.checkpoint import (
+    CheckpointWriter,
+    load_checkpoint,
+    reconcile_tasks,
+)
+from repro.runtime.executor import ResilientExecutor
+from repro.runtime.faults import FaultPlan
 
-# Globals materialized in each worker by the pool initializer.
-_WORKER_GRAPH: BipartiteGraph | None = None
-_WORKER_RANK: list[int] | None = None
-_WORKER_ALGO: MBET | None = None
+#: How many reports a worker accumulates before folding them into the
+#: shared result counter (keeps the cross-process lock off the hot path).
+_FLUSH_EVERY = 16
+
+# Worker context materialized in each worker by the pool initializer.
+_WORKER: dict = {}
 
 
-def _init_worker(graph: BipartiteGraph, rank: list[int], algo_options: dict) -> None:
-    global _WORKER_GRAPH, _WORKER_RANK, _WORKER_ALGO
-    _WORKER_GRAPH = graph
-    _WORKER_RANK = rank
-    _WORKER_ALGO = MBET(**algo_options)
+class _LocalCounter:
+    """In-process stand-in for the shared result counter (workers=1)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def add(self, n: int) -> int:
+        self.value += n
+        return self.value
 
 
-def _run_task(task: tuple[int, int, int], collect: bool):
-    """Execute root-slice ``(v, part, n_parts)``; returns (count, stats, bicliques)."""
+class _SharedCounter:
+    """Cross-process result counter over a ``multiprocessing.Value``."""
+
+    __slots__ = ("_v",)
+
+    def __init__(self, mp_value):
+        self._v = mp_value
+
+    def add(self, n: int) -> int:
+        with self._v.get_lock():
+            self._v.value += n
+            return self._v.value
+
+    @property
+    def value(self) -> int:
+        return self._v.value
+
+
+def _init_worker(
+    graph: BipartiteGraph,
+    rank: list[int],
+    algo_options: dict,
+    collect: bool,
+    faults: FaultPlan | None,
+    cancel_event,
+    shared_counter,
+    max_results: int | None,
+    wall_deadline: float | None,
+    inline: bool = False,
+) -> None:
+    _WORKER.update(
+        graph=graph,
+        rank=rank,
+        algo=MBET(**algo_options),
+        collect=collect,
+        faults=faults,
+        cancel_event=cancel_event,
+        shared=shared_counter,
+        max_results=max_results,
+        wall_deadline=wall_deadline,
+        inline=inline,
+    )
+
+
+def _run_task(task: tuple[int, int, int], attempt: int):
+    """Execute root-slice ``(v, part, n_parts)`` under the task budget.
+
+    Returns ``(count, stats_dict, bicliques|None, complete, reason)``.
+    A task cut short by a deadline or the shared result cap reports
+    ``complete=False`` instead of raising, so the driver can fold its
+    partial output into the run.
+    """
     v, part, n_parts = task
-    graph, rank, algo = _WORKER_GRAPH, _WORKER_RANK, _WORKER_ALGO
-    assert graph is not None and rank is not None and algo is not None
+    ctx = _WORKER
+    graph, rank, algo = ctx["graph"], ctx["rank"], ctx["algo"]
+    collect = ctx["collect"]
+    faults: FaultPlan | None = ctx["faults"]
+    if faults is not None:
+        faults.apply(task, attempt, inline=ctx["inline"])
+
+    cancel_event = ctx["cancel_event"]
+    shared = ctx["shared"]
+    max_results = ctx["max_results"]
     stats = EnumerationStats()
     results: list[Biclique] = []
+
+    # Per-task sub-deadline: remaining share of the run's wall-clock
+    # budget, measured on the wall clock so it is comparable across
+    # processes.
+    time_limit = None
+    if ctx["wall_deadline"] is not None:
+        time_limit = ctx["wall_deadline"] - time.time()
+        if time_limit <= 0:
+            return 0, stats.as_dict(), results if collect else None, False, (
+                "time_limit"
+            )
+
+    probe = None
+    if cancel_event is not None or (shared is not None and max_results is not None):
+        def probe() -> bool:
+            if cancel_event is not None and cancel_event.is_set():
+                return True
+            return (
+                shared is not None
+                and max_results is not None
+                and shared.value >= max_results
+            )
+
+    if time_limit is not None or probe is not None:
+        guard = RunBudget(time_limit=time_limit, cancel=probe).arm()
+    else:
+        guard = NULL_GUARD
+
     count = 0
+    unflushed = 0
 
     def report(left, right):
-        nonlocal count
+        nonlocal count, unflushed
         count += 1
         if collect:
             results.append(Biclique.make(left, right))
+        if shared is not None:
+            unflushed += 1
+            if unflushed >= _FLUSH_EVERY:
+                total = shared.add(unflushed)
+                unflushed = 0
+                if max_results is not None and total >= max_results:
+                    raise BudgetExceeded("max_bicliques")
 
-    sub = build_subproblem(graph, v, rank)
-    if sub is not None and algo._accept_subproblem(sub, stats):
-        stats.subtrees += 1
-        if n_parts == 1:
-            algo._run_subproblem(sub, report, stats)
-        else:
-            _run_root_slice(algo, sub, part, n_parts, report, stats)
-    return count, stats.as_dict(), results if collect else None
+    complete, reason = True, None
+    algo._guard = guard
+    try:
+        sub = build_subproblem(graph, v, rank)
+        if sub is not None and algo._accept_subproblem(sub, stats):
+            stats.subtrees += 1
+            if n_parts == 1:
+                algo._run_subproblem(sub, report, stats)
+            else:
+                _run_root_slice(algo, sub, part, n_parts, report, stats)
+    except BudgetExceeded as exc:
+        complete, reason = False, exc.reason
+    finally:
+        algo._guard = NULL_GUARD
+        if shared is not None and unflushed:
+            shared.add(unflushed)
+    return count, stats.as_dict(), results if collect else None, complete, reason
 
 
 def _run_root_slice(algo: MBET, sub, part: int, n_parts: int, report, stats) -> None:
@@ -113,7 +248,7 @@ def _run_root_slice(algo: MBET, sub, part: int, n_parts: int, report, stats) -> 
 
 @register
 class ParallelMBE(MBEAlgorithm):
-    """Process-pool parallel MBET with load-aware task splitting."""
+    """Process-pool parallel MBET with load-aware splitting and recovery."""
 
     name = "parallel"
 
@@ -125,40 +260,56 @@ class ParallelMBE(MBEAlgorithm):
         bound_size: int = 256,
         orient_smaller_v: bool = False,
         seed: int = 0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        task_timeout: float | None = None,
+        checkpoint: str | os.PathLike[str] | None = None,
+        faults: FaultPlan | None = None,
     ):
         super().__init__(orient_smaller_v=orient_smaller_v)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if bound_height < 1 or bound_size < 1:
             raise ValueError("split bounds must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
         self.workers = workers
         self.order = order
         self.bound_height = bound_height
         self.bound_size = bound_size
         self.seed = seed
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.task_timeout = task_timeout
+        self.checkpoint = checkpoint
+        self.faults = faults
 
     # The framework hook is unused: run() is overridden wholesale because
     # results arrive from workers, not from an in-process tree walk.
     def _enumerate(self, graph, report, stats):  # pragma: no cover
         raise NotImplementedError("ParallelMBE drives its own run()")
 
+    def _estimate(self, graph: BipartiteGraph, v: int) -> tuple[int, int]:
+        """(estimate, height) for the subtree rooted at ``v``."""
+        deg = graph.degree_v(v)
+        if deg * deg > self.bound_size:
+            n2 = len(graph.two_hop_v(v))
+            height = min(deg, n2)
+            return height * n2, height
+        return deg * deg, deg
+
     def _make_tasks(self, graph: BipartiteGraph) -> list[tuple[int, int, int]]:
         """Build root-slice tasks, largest estimated subtree first."""
         order = vertex_order(graph, self.order, seed=self.seed)
         estimated: list[tuple[int, int, int]] = []  # (estimate, height, v)
         for v in order:
-            deg = graph.degree_v(v)
-            if deg == 0:
+            if graph.degree_v(v) == 0:
                 continue
-            if deg * deg > self.bound_size:
-                # Possibly large: refine the estimate with the true 2-hop
-                # count (the candidate-set bound of the subtree root).
-                n2 = len(graph.two_hop_v(v))
-                height = min(deg, n2)
-                estimate = height * n2
-            else:
-                height = deg
-                estimate = deg * deg
+            estimate, height = self._estimate(graph, v)
             estimated.append((estimate, height, v))
         tasks: list[tuple[int, int, int, int]] = []  # (estimate, v, part, n_parts)
         for estimate, height, v in estimated:
@@ -171,51 +322,233 @@ class ParallelMBE(MBEAlgorithm):
         tasks.sort(key=lambda t: (-t[0], t[1], t[2]))
         return [(v, part, n_parts) for _, v, part, n_parts in tasks]
 
+    def _split_for_retry(
+        self, graph: BipartiteGraph, task: tuple[int, int, int], attempts: int
+    ) -> list[tuple[int, int, int]] | None:
+        """Replace a failed whole-subtree task with root slices.
+
+        Slices are never re-split (their identity must stay stable for
+        checkpoint reconciliation), and subtrees too small to benefit are
+        simply retried whole.
+        """
+        v, _part, n_parts = task
+        if n_parts != 1:
+            return None
+        estimate, height = self._estimate(graph, v)
+        if estimate <= self.bound_size or height <= 1:
+            return None
+        k = min(4 * self.workers, max(2, 1 + estimate // self.bound_size))
+        return [(v, part, k) for part in range(k)]
+
+    def _fingerprint(self, graph: BipartiteGraph, collect: bool) -> dict:
+        """Identity of a run for checkpoint compatibility checks."""
+        return {
+            "n_u": graph.n_u,
+            "n_v": graph.n_v,
+            "n_edges": graph.n_edges,
+            "order": self.order,
+            "seed": self.seed,
+            "bound_height": self.bound_height,
+            "bound_size": self.bound_size,
+            "workers": self.workers,
+            "orient_smaller_v": self.orient_smaller_v,
+            "collect": collect,
+        }
+
     def run(
         self,
         graph: BipartiteGraph,
         collect: bool = True,
         limits: EnumerationLimits | None = None,
+        budget: RunBudget | None = None,
     ) -> MBEResult:
-        """Enumerate in parallel; limits are unsupported (whole-run semantics)."""
-        import time
+        """Enumerate in parallel; degrades gracefully under any failure.
 
-        if limits is not None and (
-            limits.max_bicliques is not None or limits.time_limit is not None
-        ):
-            raise NotImplementedError(
-                "ParallelMBE does not support enumeration limits"
-            )
+        Budgets are supported: a deadline is propagated to workers as
+        per-task sub-deadlines, ``max_bicliques`` through a shared counter
+        plus a cancel event.  Worker crashes and stalls are retried up to
+        ``max_retries`` times; permanent failures land in
+        ``meta["failures"]`` and flag the result ``complete=False`` rather
+        than raising.  With ``checkpoint=path``, completed tasks are
+        persisted as they finish and a restart skips them.
+        """
+        budget = resolve_budget(limits, budget)
         work_graph, swapped = (
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
         algo_options = {"order": self.order, "seed": self.seed}
         rank = rank_of(vertex_order(work_graph, self.order, seed=self.seed))
-        tasks = self._make_tasks(work_graph)
+        all_tasks = self._make_tasks(work_graph)
 
+        start = time.perf_counter()
         stats = EnumerationStats()
         bicliques: list[Biclique] = []
         count = 0
-        start = time.perf_counter()
-        if self.workers == 1:
-            _init_worker(work_graph, rank, algo_options)
-            outcomes = [_run_task(task, collect) for task in tasks]
+        saw_partial = False
+        partial_reasons: set[str] = set()
+        meta: dict = {"workers": self.workers, "tasks": len(all_tasks)}
+
+        # -- checkpoint: skip finished subtrees, keep persisting new ones --
+        tasks = all_tasks
+        writer: CheckpointWriter | None = None
+        if self.checkpoint is not None:
+            path = os.fspath(self.checkpoint)
+            fingerprint = self._fingerprint(graph, collect)
+            ckpt = load_checkpoint(path)
+            resumed: list[dict] = []
+            if ckpt is not None:
+                ckpt.require_match(fingerprint, path)
+                tasks, resumed = reconcile_tasks(all_tasks, ckpt, path)
+            writer = CheckpointWriter(path, fingerprint, resume_records=resumed)
+            for rec in resumed:
+                count += rec["count"]
+                part_stats = EnumerationStats()
+                for key, value in rec["stats"].items():
+                    setattr(part_stats, key, value)
+                stats.merge(part_stats)
+                if collect and rec["bicliques"]:
+                    bicliques.extend(
+                        Biclique.make(ls, rs) for ls, rs in rec["bicliques"]
+                    )
+            meta["resumed_tasks"] = len(resumed)
+
+        # -- budget wiring -------------------------------------------------
+        max_results = budget.max_bicliques if budget is not None else None
+        time_limit = budget.time_limit if budget is not None else None
+        wall_deadline = time.time() + time_limit if time_limit is not None else None
+        mono_deadline = (
+            time.monotonic() + time_limit if time_limit is not None else None
+        )
+
+        pooled = self.workers > 1
+        mp_ctx = multiprocessing.get_context("fork")
+        cancel_event = (
+            mp_ctx.Event() if (pooled and max_results is not None) else None
+        )
+        if max_results is not None:
+            shared = (
+                _SharedCounter(mp_ctx.Value("q", 0))
+                if pooled
+                else _LocalCounter()
+            )
+            shared.add(count)  # resumed results count against the cap
         else:
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(work_graph, rank, algo_options),
-            ) as pool:
-                futures = [pool.submit(_run_task, task, collect) for task in tasks]
-                outcomes = [f.result() for f in futures]
-        for task_count, stats_dict, task_bicliques in outcomes:
+            shared = None
+
+        def on_result(task, outcome) -> None:
+            nonlocal count, saw_partial
+            task_count, stats_dict, task_bicliques, task_complete, reason = outcome
             count += task_count
-            part = EnumerationStats()
+            part_stats = EnumerationStats()
             for key, value in stats_dict.items():
-                setattr(part, key, value)
-            stats.merge(part)
+                setattr(part_stats, key, value)
+            stats.merge(part_stats)
             if collect and task_bicliques:
                 bicliques.extend(task_bicliques)
+            if not task_complete:
+                saw_partial = True
+                if reason:
+                    partial_reasons.add(reason)
+            elif writer is not None:
+                writer.record(
+                    task, task_count, stats_dict,
+                    task_bicliques if collect else None,
+                )
+            if (
+                max_results is not None
+                and count >= max_results
+                and cancel_event is not None
+            ):
+                cancel_event.set()
+
+        executor = ResilientExecutor(
+            task_fn=_run_task,
+            pool_factory=(
+                (
+                    lambda: ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=mp_ctx,
+                        initializer=_init_worker,
+                        initargs=(
+                            work_graph, rank, algo_options, collect,
+                            self.faults, cancel_event, shared, max_results,
+                            wall_deadline,
+                        ),
+                    )
+                )
+                if pooled
+                else None
+            ),
+            on_result=on_result,
+            max_retries=self.max_retries,
+            backoff=self.retry_backoff,
+            task_timeout=self.task_timeout,
+            max_inflight=self.workers,
+            deadline=mono_deadline,
+            cancel=(
+                (lambda: count >= max_results)
+                if max_results is not None
+                else None
+            ),
+            split_fn=lambda task, attempts: self._split_for_retry(
+                work_graph, task, attempts
+            ),
+        )
+        try:
+            if not tasks:
+                report = None
+            elif pooled:
+                report = executor.run(tasks)
+            else:
+                _init_worker(
+                    work_graph, rank, algo_options, collect, self.faults,
+                    None, shared, max_results, wall_deadline, inline=True,
+                )
+                report = executor.run_serial(tasks)
+        finally:
+            if writer is not None:
+                writer.close()
+            _WORKER.clear()
+
+        # -- fold the execution report into the result ---------------------
+        stopped: str | None = None
+        if report is not None:
+            meta["completed_tasks"] = report.completed
+            if report.retries:
+                meta["retries"] = report.retries
+            if report.pool_restarts:
+                meta["pool_restarts"] = report.pool_restarts
+            if report.failures:
+                meta["failures"] = [f.as_dict() for f in report.failures]
+            if report.stopped == "time_limit":
+                stopped = "time_limit"
+            elif report.stopped == "cancelled":
+                stopped = "max_bicliques" if max_results is not None else "cancelled"
+        if stopped is None and partial_reasons:
+            for reason in ("max_bicliques", "time_limit", "cancelled"):
+                if reason in partial_reasons or (
+                    reason == "max_bicliques" and "cancelled" in partial_reasons
+                ):
+                    stopped = reason
+                    break
+        if stopped:
+            meta["stopped"] = stopped
+
+        complete = (
+            stopped is None
+            and not saw_partial
+            and (report is None or not report.failures)
+        )
+
+        # Mirror the sequential result-cap semantics: never return more
+        # than max_bicliques results (workers stop at amortized
+        # boundaries, so the raw union can overshoot slightly).
+        if max_results is not None and count > max_results:
+            count = max_results
+            if collect:
+                del bicliques[max_results:]
+            complete = False
+
         elapsed = time.perf_counter() - start
         stats.maximal = count
         if collect and swapped:
@@ -226,6 +559,6 @@ class ParallelMBE(MBEAlgorithm):
             elapsed=elapsed,
             stats=stats,
             bicliques=bicliques if collect else None,
-            complete=True,
-            meta={"workers": self.workers, "tasks": len(tasks)},
+            complete=complete,
+            meta=meta,
         )

@@ -53,6 +53,7 @@ class PMBE(MBEAlgorithm):
         stats: EnumerationStats,
     ) -> None:
         stats.nodes += 1
+        self._guard.tick()
         local = {w: left & graph.neighbors_v_set(w) for w in cands}
         stats.intersections += len(cands)
 

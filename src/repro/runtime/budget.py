@@ -1,0 +1,189 @@
+"""Run budgets and cooperative cancellation for enumeration loops.
+
+Enumeration on production graphs runs for minutes to hours; every entry
+point therefore accepts a :class:`RunBudget` — a bundle of *stop
+conditions* (wall-clock deadline, result cap, node cap, external cancel
+probe) enforced cooperatively inside the enumeration loops.
+
+The enforcement contract is deliberately cheap:
+
+* Algorithms call :meth:`BudgetGuard.tick` once per enumeration-tree node.
+  The guard only consults the clock / cancel probe every
+  ``check_interval`` ticks (a power of two, so the amortized cost is one
+  integer AND per node), which bounds deadline overshoot by the cost of
+  ``check_interval`` node expansions.
+* Coarser loops (one iteration per first-level subproblem) call
+  :meth:`BudgetGuard.check_now`, an unamortized check, so a deadline also
+  binds on graphs whose subproblems are individually expensive but report
+  nothing for long stretches.
+* Reporting paths call :meth:`BudgetGuard.on_report` per result, which
+  enforces ``max_bicliques`` exactly and re-checks the deadline.
+
+When a budget trips, the guard raises :class:`BudgetExceeded` carrying a
+``reason`` string; drivers catch it, flag the run ``complete=False`` and
+return everything found so far.  A run with no budget at all never
+constructs a guard — the no-limit hot path performs zero clock reads
+(:data:`NULL_GUARD` methods are empty).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "BudgetExceeded",
+    "BudgetGuard",
+    "NULL_GUARD",
+    "RunBudget",
+]
+
+
+class BudgetExceeded(Exception):
+    """Raised inside enumeration loops when a run budget trips.
+
+    ``reason`` is one of ``"time_limit"``, ``"max_bicliques"``,
+    ``"max_nodes"`` or ``"cancelled"``.
+    """
+
+    def __init__(self, reason: str = "limit"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class RunBudget:
+    """Stop conditions for one enumeration run.
+
+    ``time_limit``
+        Wall-clock seconds from :meth:`arm` to the deadline.
+    ``max_bicliques``
+        Stop after this many results (exact).
+    ``max_nodes``
+        Stop after roughly this many enumeration-tree nodes (checked every
+        ``check_interval`` nodes, so overshoot is below one interval).
+    ``check_interval``
+        Nodes between deadline/cancel probes; rounded up to a power of two.
+    ``cancel``
+        External cancel probe (e.g. ``threading.Event.is_set``); polled at
+        the same amortized boundaries as the deadline.
+    """
+
+    time_limit: float | None = None
+    max_bicliques: int | None = None
+    max_nodes: int | None = None
+    check_interval: int = 256
+    cancel: Callable[[], bool] | None = None
+
+    def validate(self) -> None:
+        """Raise ValueError on out-of-range budget fields."""
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+        if self.max_bicliques is not None and self.max_bicliques < 0:
+            raise ValueError("max_bicliques must be non-negative")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError("max_nodes must be positive")
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be positive")
+
+    @property
+    def unbounded(self) -> bool:
+        """True when no stop condition is set at all."""
+        return (
+            self.time_limit is None
+            and self.max_bicliques is None
+            and self.max_nodes is None
+            and self.cancel is None
+        )
+
+    def arm(self) -> "BudgetGuard":
+        """Start the clock and return the guard enforcing this budget."""
+        self.validate()
+        return BudgetGuard(self)
+
+
+class BudgetGuard:
+    """Armed :class:`RunBudget`: the object enumeration loops consult."""
+
+    __slots__ = (
+        "deadline",
+        "max_results",
+        "max_nodes",
+        "cancel",
+        "reason",
+        "_mask",
+        "_ticks",
+    )
+
+    def __init__(self, budget: RunBudget):
+        self.deadline = (
+            time.perf_counter() + budget.time_limit
+            if budget.time_limit is not None
+            else None
+        )
+        self.max_results = budget.max_bicliques
+        self.max_nodes = budget.max_nodes
+        self.cancel = budget.cancel
+        self.reason: str | None = None
+        interval = 1
+        while interval < budget.check_interval:
+            interval <<= 1
+        self._mask = interval - 1
+        self._ticks = 0
+
+    def _stop(self, reason: str) -> None:
+        self.reason = reason
+        raise BudgetExceeded(reason)
+
+    def tick(self) -> None:
+        """Per-node probe: amortized deadline / node-budget / cancel check."""
+        self._ticks += 1
+        if self._ticks & self._mask:
+            return
+        self.check_now()
+
+    def check_now(self) -> None:
+        """Unamortized probe for coarse loop boundaries (per subproblem)."""
+        if self.max_nodes is not None and self._ticks > self.max_nodes:
+            self._stop("max_nodes")
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            self._stop("time_limit")
+        if self.cancel is not None and self.cancel():
+            self._stop("cancelled")
+
+    def on_report(self, count: int) -> None:
+        """Per-result probe: exact result cap plus a deadline re-check."""
+        if self.max_results is not None and count >= self.max_results:
+            self._stop("max_bicliques")
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            self._stop("time_limit")
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (None when no time limit is set)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.perf_counter()
+
+
+class _NullGuard:
+    """Shared no-op guard: the zero-overhead path for unbudgeted runs."""
+
+    __slots__ = ()
+    reason = None
+
+    def tick(self) -> None:
+        pass
+
+    def check_now(self) -> None:
+        pass
+
+    def on_report(self, count: int) -> None:
+        pass
+
+    def remaining(self) -> None:
+        return None
+
+
+#: Singleton installed on algorithms whenever no budget is active.
+NULL_GUARD = _NullGuard()

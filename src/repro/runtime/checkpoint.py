@@ -1,0 +1,219 @@
+"""JSONL checkpointing for restartable parallel enumeration.
+
+First-level subproblems are independent (:mod:`repro.core.decompose`), so
+a parallel run's progress is exactly the set of finished tasks.  The
+checkpoint is an append-only JSONL file:
+
+* line 1 — a ``header`` record carrying a fingerprint of the run
+  (graph sizes, ordering, seed, split bounds, worker count, collect
+  flag).  Resuming against a file whose fingerprint does not match the
+  new run raises :class:`CheckpointError` rather than silently merging
+  incompatible results.
+* one ``task`` record per *completed* task — its key ``"v:part:n_parts"``,
+  result count, stats counters, and (when collecting) the bicliques in
+  work-graph coordinates.  Tasks cut short by a budget are never
+  recorded, so a resumed run redoes them in full.
+
+Records are flushed as they are written; a run killed mid-write leaves at
+most one torn trailing line, which the loader tolerates and drops.
+
+Resume reconciliation (:func:`reconcile_tasks`) is root-aware: a root
+``v`` may have been recorded either as the whole-subtree task ``(v,0,1)``
+or as ``k`` root slices ``(v,j,k)`` (the driver re-splits oversized tasks
+on retry).  Recorded slices are skipped and only the missing slices of
+the same ``k`` are re-scheduled, so no biclique is ever lost or counted
+twice across a kill/resume cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointWriter",
+    "load_checkpoint",
+    "reconcile_tasks",
+    "task_key",
+]
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Raised on unreadable, corrupt, or mismatched checkpoint files."""
+
+
+def task_key(task: tuple[int, int, int]) -> str:
+    """Stable string key for a root-slice task ``(v, part, n_parts)``."""
+    v, part, n_parts = task
+    return f"{v}:{part}:{n_parts}"
+
+
+@dataclass
+class Checkpoint:
+    """Parsed checkpoint: run fingerprint plus completed-task records."""
+
+    header: dict[str, Any]
+    records: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def matches(self, fingerprint: dict[str, Any]) -> bool:
+        """True when the stored fingerprint equals the new run's."""
+        return {k: v for k, v in self.header.items() if k != "type"} == fingerprint
+
+    def require_match(self, fingerprint: dict[str, Any], path: str) -> None:
+        """Raise :class:`CheckpointError` unless fingerprints agree."""
+        stored = {k: v for k, v in self.header.items() if k != "type"}
+        if stored != fingerprint:
+            diffs = sorted(
+                k
+                for k in set(stored) | set(fingerprint)
+                if stored.get(k) != fingerprint.get(k)
+            )
+            raise CheckpointError(
+                f"{path}: checkpoint belongs to a different run "
+                f"(mismatched fields: {', '.join(diffs)})"
+            )
+
+
+def load_checkpoint(path: str | os.PathLike[str]) -> Checkpoint | None:
+    """Load a checkpoint file; None when the file does not exist.
+
+    A torn trailing line (run killed mid-write) is dropped; any other
+    malformed content raises :class:`CheckpointError`.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    lines = [ln for ln in lines if ln.strip()]
+    if not lines:
+        return None
+    parsed: list[dict[str, Any]] = []
+    for i, line in enumerate(lines):
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn final write from a killed run
+            raise CheckpointError(f"{path}:{i + 1}: malformed checkpoint line")
+    if not parsed:
+        return None
+    header = parsed[0]
+    if header.get("type") != "header":
+        raise CheckpointError(f"{path}: first line is not a checkpoint header")
+    if header.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version {header.get('version')!r}"
+        )
+    ckpt = Checkpoint(header={k: v for k, v in header.items() if k != "version"})
+    for i, rec in enumerate(parsed[1:], start=2):
+        if rec.get("type") != "task" or "key" not in rec:
+            raise CheckpointError(f"{path}:{i}: malformed task record")
+        ckpt.records[rec["key"]] = rec
+    return ckpt
+
+
+class CheckpointWriter:
+    """One flushed JSONL record per completed task.
+
+    Creation atomically rewrites the file (header plus any carried-over
+    ``resume_records``) via a temp-file replace, which compacts away torn
+    tails from a previous kill; after that every record is an append.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        fingerprint: dict[str, Any],
+        resume_records: list[dict[str, Any]] | None = None,
+    ):
+        self.path = os.fspath(path)
+        tmp = self.path + ".tmp"
+        self._handle: IO[str] | None = open(tmp, "w", encoding="utf-8")
+        self._write(dict(fingerprint, type="header", version=FORMAT_VERSION))
+        for rec in resume_records or ():
+            self._write(rec)
+        self._handle.close()
+        os.replace(tmp, self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _write(self, obj: dict[str, Any]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def record(
+        self,
+        task: tuple[int, int, int],
+        count: int,
+        stats: dict[str, int],
+        bicliques: list | None,
+    ) -> None:
+        """Persist one completed task's outcome."""
+        self._write(
+            {
+                "type": "task",
+                "key": task_key(task),
+                "task": list(task),
+                "count": count,
+                "stats": {k: v for k, v in stats.items() if v},
+                "bicliques": (
+                    [[list(b.left), list(b.right)] for b in bicliques]
+                    if bicliques is not None
+                    else None
+                ),
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def reconcile_tasks(
+    tasks: list[tuple[int, int, int]], checkpoint: Checkpoint, path: str
+) -> tuple[list[tuple[int, int, int]], list[dict[str, Any]]]:
+    """Split a task list into (still-to-run, already-done records).
+
+    Root-aware: for each root vertex the checkpoint may hold the whole
+    subtree or a consistent set of root slices; mixed slice counts for one
+    root mean the file is corrupt.
+    """
+    by_root: dict[int, dict[str, dict[str, Any]]] = {}
+    for key, rec in checkpoint.records.items():
+        v = int(rec["task"][0])
+        by_root.setdefault(v, {})[key] = rec
+
+    remaining: list[tuple[int, int, int]] = []
+    done: list[dict[str, Any]] = []
+    seen_roots: set[int] = set()
+    for task in tasks:
+        v = task[0]
+        recs = by_root.get(v)
+        if not recs:
+            remaining.append(task)
+            continue
+        if v in seen_roots:
+            continue  # this root already reconciled via its first task
+        seen_roots.add(v)
+        n_parts_seen = {int(rec["task"][2]) for rec in recs.values()}
+        if 1 in n_parts_seen and len(recs) == 1:
+            done.append(next(iter(recs.values())))
+            continue
+        if len(n_parts_seen) != 1 or 1 in n_parts_seen:
+            raise CheckpointError(
+                f"{path}: inconsistent slice counts recorded for root {v}"
+            )
+        k = n_parts_seen.pop()
+        done.extend(recs.values())
+        for part in range(k):
+            if task_key((v, part, k)) not in recs:
+                remaining.append((v, part, k))
+    return remaining, done

@@ -1,0 +1,125 @@
+"""Deterministic fault injection for the parallel enumeration runtime.
+
+The fault-tolerance machinery in :mod:`repro.core.parallel` (worker-crash
+recovery, stall detection, retry with backoff, checkpoint/resume) can only
+be trusted if it is exercised against *real* failures.  A
+:class:`FaultPlan` injects three failure modes into worker task execution,
+deterministically — the same plan against the same task list always
+produces the same failures, so stress tests are reproducible:
+
+* **crash** — the worker process exits hard (``os._exit``), which breaks
+  the process pool exactly like a segfault or OOM kill would.  In inline
+  (``workers=1``) execution, where exiting would kill the caller, the
+  crash surfaces as an :class:`InjectedWorkerCrash` exception instead.
+* **hang** — the task sleeps far past the driver's stall window, which
+  exercises the per-task timeout and pool-recycling path.
+* **slow** — the task sleeps briefly before running, which exercises
+  scheduling under skew without failing anything.
+
+Tasks are selected either explicitly (``crash_tasks`` — root vertex ids or
+``(v, part)`` pairs) or by a seeded hash rate (``crash_rate``).  A fault
+fires only while ``attempt < crash_attempts`` (default 1), so a retried
+task succeeds — set ``crash_attempts`` above the driver's retry cap to
+model a permanently poisoned task.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["FaultPlan", "InjectedWorkerCrash"]
+
+#: Worker exit code used by injected crashes (visible in driver logs).
+CRASH_EXIT_CODE = 171
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Stand-in for a hard worker death when execution is inline."""
+
+
+def _hash_unit(seed: int, v: int, part: int, salt: str) -> float:
+    """Deterministic hash of (seed, task, salt) into [0, 1)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{v}:{part}:{salt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+def _matches(task: tuple[int, int, int], targets: Iterable) -> bool:
+    v, part, _n_parts = task
+    for t in targets:
+        if isinstance(t, tuple):
+            if (v, part) == tuple(t[:2]):
+                return True
+        elif t == v:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seed-deterministic schedule of injected worker failures."""
+
+    seed: int = 0
+    crash_tasks: tuple = ()
+    crash_rate: float = 0.0
+    crash_attempts: int = 1
+    hang_tasks: tuple = ()
+    hang_rate: float = 0.0
+    hang_seconds: float = 30.0
+    hang_attempts: int = 1
+    slow_tasks: tuple = ()
+    slow_rate: float = 0.0
+    slow_seconds: float = 0.05
+
+    def decide(self, task: tuple[int, int, int], attempt: int) -> str | None:
+        """Return the fault kind for one task attempt, or None."""
+        v, part, _ = task
+        if attempt < self.crash_attempts and (
+            _matches(task, self.crash_tasks)
+            or (
+                self.crash_rate > 0.0
+                and _hash_unit(self.seed, v, part, "crash") < self.crash_rate
+            )
+        ):
+            return "crash"
+        if attempt < self.hang_attempts and (
+            _matches(task, self.hang_tasks)
+            or (
+                self.hang_rate > 0.0
+                and _hash_unit(self.seed, v, part, "hang") < self.hang_rate
+            )
+        ):
+            return "hang"
+        if _matches(task, self.slow_tasks) or (
+            self.slow_rate > 0.0
+            and _hash_unit(self.seed, v, part, "slow") < self.slow_rate
+        ):
+            return "slow"
+        return None
+
+    def apply(
+        self, task: tuple[int, int, int], attempt: int, inline: bool = False
+    ) -> None:
+        """Inject the planned fault for this attempt, if any.
+
+        ``inline=True`` converts a crash into :class:`InjectedWorkerCrash`
+        (raising instead of exiting) so single-process drivers survive.
+        """
+        kind = self.decide(task, attempt)
+        if kind is None:
+            return
+        if kind == "crash":
+            if inline:
+                raise InjectedWorkerCrash(
+                    f"injected crash for task {task} attempt {attempt}"
+                )
+            os._exit(CRASH_EXIT_CODE)
+        elif kind == "hang":
+            time.sleep(self.hang_seconds)
+        elif kind == "slow":
+            time.sleep(self.slow_seconds)

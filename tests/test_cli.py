@@ -55,7 +55,27 @@ class TestRunCommand:
 
     def test_run_with_limit(self, g0_file, capsys):
         main(["run", "--input", g0_file, "--max-bicliques", "2"])
-        assert "stopped at limit" in capsys.readouterr().out
+        assert "partial: max_bicliques" in capsys.readouterr().out
+
+    def test_run_with_node_limit(self, g0_file, capsys):
+        main(["run", "--input", g0_file, "--max-nodes", "1"])
+        out = capsys.readouterr().out
+        assert "partial: max_nodes" in out or "complete" in out
+
+    def test_checkpoint_requires_parallel(self, g0_file, capsys):
+        code = main(["run", "--input", g0_file, "--checkpoint", "x.ckpt"])
+        assert code == 2
+        assert "requires --algorithm parallel" in capsys.readouterr().err
+
+    def test_checkpoint_resume_roundtrip(self, g0_file, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        args = ["run", "--input", g0_file, "-a", "parallel",
+                "--checkpoint", str(ckpt)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
 
     def test_run_dataset(self, capsys):
         assert main(["run", "--dataset", "mti", "-a", "mbet"]) == 0

@@ -114,6 +114,46 @@ class TestErrors:
             read_edge_list(path, fmt="plain")
 
 
+class TestCorruptFixtures:
+    """Every malformed input raises one GraphFormatError with file context."""
+
+    def test_graph_format_error_is_the_edge_list_error(self):
+        from repro.bigraph.io import GraphFormatError
+
+        assert EdgeListFormatError is GraphFormatError
+        assert issubclass(GraphFormatError, ValueError)
+
+    def test_binary_garbage(self, tmp_path):
+        from repro.bigraph.io import GraphFormatError
+
+        path = tmp_path / "x"
+        path.write_bytes(b"\x00\xff\xfe binary \x80 soup")
+        with pytest.raises(GraphFormatError, match=str(path)):
+            read_edge_list(path)
+
+    def test_truncated_mid_token(self, tmp_path):
+        from repro.bigraph.io import GraphFormatError
+
+        path = tmp_path / "x"
+        path.write_text("0 1\n1 2\n2 3.")  # torn final write
+        with pytest.raises(GraphFormatError, match=":3:"):
+            read_edge_list(path, fmt="plain")
+
+    def test_negative_id_in_plain(self, tmp_path):
+        from repro.bigraph.io import GraphFormatError
+
+        path = tmp_path / "x"
+        path.write_text("0 1\n-4 2\n")
+        with pytest.raises(GraphFormatError, match="underflow"):
+            read_edge_list(path, fmt="plain")
+
+    def test_errors_catchable_as_valueerror(self, tmp_path):
+        path = tmp_path / "x"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path, fmt="plain")
+
+
 class TestCompact:
     def test_compact_drops_gaps(self, tmp_path):
         path = tmp_path / "x"
