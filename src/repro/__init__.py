@@ -71,6 +71,14 @@ from repro.core import (
     run_mbe,
     verify_result,
 )
+from repro.obs import (
+    Instrumentation,
+    ProgressReporter,
+    Tracer,
+    parse_prometheus_text,
+    prometheus_text,
+    write_trace_jsonl,
+)
 from repro.runtime import (
     BudgetExceeded,
     CheckpointError,
@@ -97,12 +105,15 @@ __all__ = [
     "GraphBuilder",
     "GraphFormatError",
     "GraphStats",
+    "Instrumentation",
     "MBEResult",
     "MBET",
     "MBETIterative",
     "MBETM",
     "MaximumBicliqueResult",
+    "ProgressReporter",
     "RunBudget",
+    "Tracer",
     "UpdateResult",
     "__version__",
     "available_algorithms",
@@ -122,8 +133,10 @@ __all__ = [
     "is_maximal_biclique",
     "iter_pq_bicliques",
     "load_checkpoint",
+    "parse_prometheus_text",
     "planted_bicliques",
     "powerlaw_bipartite",
+    "prometheus_text",
     "random_bipartite",
     "read_edge_list",
     "run_mbe",
@@ -139,4 +152,5 @@ __all__ = [
     "vertex_order",
     "vertex_participation",
     "write_edge_list",
+    "write_trace_jsonl",
 ]

@@ -26,11 +26,30 @@ class RunRecord:
     count: int
     complete: bool
     stats: dict
+    #: metric-registry snapshot of the run (instrumented runs only); the
+    #: same shape as ``MetricRegistry.snapshot()`` so benchmark output can
+    #: feed the observability sinks directly
+    metrics: dict | None = None
 
     @property
     def status(self) -> str:
         """``'ok'`` or ``'timeout'`` — timed-out runs keep partial counts."""
         return "ok" if self.complete else "timeout"
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump (used by ``tools/bench_snapshot.py``)."""
+        out = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "elapsed": self.elapsed,
+            "count": self.count,
+            "complete": self.complete,
+            "status": self.status,
+            "stats": self.stats,
+        }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
 
 def run_timed(
@@ -39,6 +58,7 @@ def run_timed(
     dataset: str = "?",
     repeats: int = 1,
     time_limit: float | None = None,
+    instrumentation=None,
     **options,
 ) -> RunRecord:
     """Run ``algorithm`` on ``graph`` ``repeats`` times; keep the best time.
@@ -46,6 +66,11 @@ def run_timed(
     ``time_limit`` (seconds) turns slow baselines into explicit "timeout"
     rows instead of stalling the harness — mirroring how papers report
     baselines that exceed the evaluation budget.
+
+    With ``instrumentation`` (an :class:`repro.obs.Instrumentation`),
+    every repeat publishes into its registry and the record carries the
+    resulting snapshot, so benchmark rows ship the same metrics the
+    observability sinks export.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -55,9 +80,14 @@ def run_timed(
         algo = factory(**options)
         limits = EnumerationLimits(time_limit=time_limit)
         if algorithm == "parallel":
-            result = algo.run(graph, collect=False)  # limits unsupported
+            result = algo.run(  # limits unsupported
+                graph, collect=False, instrumentation=instrumentation
+            )
         else:
-            result = algo.run(graph, collect=False, limits=limits)
+            result = algo.run(
+                graph, collect=False, limits=limits,
+                instrumentation=instrumentation,
+            )
         if best is None or result.elapsed < best.elapsed:
             best = result
         if not result.complete:
@@ -70,6 +100,11 @@ def run_timed(
         count=best.count,
         complete=best.complete,
         stats=best.stats.as_dict(),
+        metrics=(
+            instrumentation.registry.snapshot()
+            if instrumentation is not None
+            else None
+        ),
     )
 
 

@@ -3,6 +3,7 @@
 Subcommands
 -----------
 ``run``          enumerate maximal bicliques of a zoo dataset or edge list
+``profile``      run one algorithm and print its phase/prune breakdown
 ``analyze``      enumerate + summarize (histogram, top-k, busiest vertices)
 ``max``          branch-and-bound search for one maximum biclique
 ``verify``       audit a saved biclique file against its graph
@@ -11,6 +12,11 @@ Subcommands
 ``datasets``     list the dataset zoo
 ``algorithms``   list registered algorithms
 ``experiments``  regenerate the reconstructed evaluation (see DESIGN.md §4)
+
+Observability flags (``run`` and ``profile``; see docs/observability.md):
+``--metrics-out`` writes the run's metric registry as Prometheus text,
+``--trace-out`` writes the span/event log as JSONL, and ``--progress``
+streams heartbeats to stderr as a live TTY line or JSONL records.
 """
 
 from __future__ import annotations
@@ -35,7 +41,36 @@ def _load_graph(args: argparse.Namespace):
     return graph, args.input
 
 
+def _make_instrumentation(args: argparse.Namespace, always: bool = False):
+    """Build an Instrumentation from the obs flags; None when unused."""
+    from repro.obs import Instrumentation, ProgressReporter
+
+    wants = always or args.metrics_out or args.trace_out or args.progress
+    if not wants:
+        return None
+    progress = None
+    if args.progress:
+        progress = ProgressReporter(mode=args.progress)
+    return Instrumentation(progress=progress)
+
+
+def _write_obs_outputs(instr, args: argparse.Namespace) -> None:
+    """Flush the metric/trace sinks the obs flags asked for."""
+    if args.metrics_out:
+        from repro.obs import write_prometheus
+
+        write_prometheus(instr.registry, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        from repro.obs import write_trace_jsonl
+
+        lines = write_trace_jsonl(instr.tracer, args.trace_out)
+        print(f"wrote {lines} trace records to {args.trace_out}",
+              file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    instr = _make_instrumentation(args)
     graph, name = _load_graph(args)
     collect = args.output is not None
     options = {}
@@ -52,12 +87,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_bicliques=args.max_bicliques,
         time_limit=args.time_limit,
         node_limit=args.max_nodes,
+        instrumentation=instr,
         **options,
     )
     if result.complete:
         status = "complete"
     else:
         status = f"partial: {result.meta.get('stopped', 'task failures')}"
+    # one-line summary on stderr, so a run whose stdout is redirected (or
+    # that writes no output file) is never silent
+    print(
+        f"{args.algorithm} on {name}: {result.count:,} bicliques, "
+        f"{result.elapsed:.3f}s, {result.stats.nodes:,} nodes ({status})",
+        file=sys.stderr,
+    )
     print(
         f"{args.algorithm} on {name}: {result.count:,} maximal bicliques "
         f"in {result.elapsed:.3f}s ({status})"
@@ -78,7 +121,88 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         written = write_bicliques(result.bicliques or (), args.output)
         print(f"wrote {written:,} bicliques to {args.output}")
+    if instr is not None:
+        _write_obs_outputs(instr, args)
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one algorithm under full instrumentation; print the breakdown."""
+    instr = _make_instrumentation(args, always=True)
+    with instr.phase("load"):
+        graph, name = _load_graph(args)
+    result = run_mbe(
+        graph,
+        algorithm=args.algorithm,
+        collect=args.verify,
+        time_limit=args.time_limit,
+        instrumentation=instr,
+    )
+    if args.verify:
+        from repro.core.verify import VerificationError, verify_result
+
+        with instr.phase("verify"):
+            try:
+                verify_result(graph, result.bicliques or ())
+            except VerificationError as exc:
+                print(f"verification FAILED: {exc}", file=sys.stderr)
+                return 1
+
+    status = "complete" if result.complete else (
+        f"partial: {result.meta.get('stopped', 'task failures')}"
+    )
+    print(
+        f"{args.algorithm} on {name}: {result.count:,} maximal bicliques "
+        f"in {result.elapsed:.3f}s ({status})"
+    )
+
+    durations = instr.tracer.phase_durations()
+    total = sum(durations.values()) or 1.0
+    print("\nphase breakdown:")
+    print(format_table(
+        ["phase", "seconds", "share"],
+        [
+            [phase, f"{seconds:.4f}", f"{100 * seconds / total:.1f}%"]
+            for phase, seconds in durations.items()
+        ],
+    ))
+
+    st = result.stats
+    explored = st.nodes + st.non_maximal + st.threshold_pruned
+    rows = [
+        ["subtrees", f"{st.subtrees:,}", "first-level subproblems"],
+        ["nodes", f"{st.nodes:,}", "enumeration-tree nodes expanded"],
+        ["maximal", f"{st.maximal:,}", "bicliques reported"],
+        ["non_maximal", f"{st.non_maximal:,}",
+         _share(st.non_maximal, explored, "of branches cut as duplicates")],
+        ["threshold_pruned", f"{st.threshold_pruned:,}",
+         _share(st.threshold_pruned, explored, "of branches cut by bounds")],
+        ["merged_candidates", f"{st.merged_candidates:,}",
+         "candidates absorbed by signature merging"],
+        ["checks", f"{st.checks:,}", "containment tests performed"],
+        ["trie_pruned", f"{st.trie_pruned:,}",
+         _share(st.trie_pruned, st.trie_pruned + st.checks,
+                "of containment work avoided by the prefix tree")],
+        ["intersections", f"{st.intersections:,}",
+         "neighbourhood intersections"],
+    ]
+    if st.trie_peak_nodes:
+        rows.append(["trie_peak_nodes", f"{st.trie_peak_nodes:,}",
+                     "peak prefix-tree size"])
+    if st.trie_overflow:
+        rows.append(["trie_overflow", f"{st.trie_overflow:,}",
+                     "inserts past the trie budget"])
+    print("\nprune breakdown:")
+    print(format_table(["counter", "value", "meaning"], rows))
+
+    _write_obs_outputs(instr, args)
+    return 0
+
+
+def _share(part: int, whole: int, caption: str) -> str:
+    if whole <= 0:
+        return caption
+    return f"{100 * part / whole:.1f}% {caption}"
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -300,6 +424,18 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["auto", "plain", "konect"],
                        help="edge-list format (with --input)")
 
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--metrics-out", default=None,
+                       help="write run metrics as Prometheus text "
+                            "exposition to this file")
+        p.add_argument("--trace-out", default=None,
+                       help="write phase spans and trace events as JSONL "
+                            "to this file")
+        p.add_argument("--progress", nargs="?", const="tty", default=None,
+                       choices=["tty", "jsonl"],
+                       help="stream heartbeats to stderr: a live tty line "
+                            "(default) or machine-readable JSONL")
+
     p_run = sub.add_parser("run", help="enumerate maximal bicliques")
     add_graph_source(p_run)
     p_run.add_argument("--algorithm", "-a", default="mbet",
@@ -313,7 +449,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "runs (requires --algorithm parallel)")
     p_run.add_argument("--output", "-o", default=None,
                        help="write bicliques as 'u1,u2\\tv1,v2' lines")
+    add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one algorithm instrumented; print phase/prune breakdown",
+    )
+    add_graph_source(p_prof)
+    p_prof.add_argument("--algorithm", "-a", default="mbet",
+                        choices=available_algorithms())
+    p_prof.add_argument("--time-limit", type=float, default=None)
+    p_prof.add_argument("--verify", action="store_true",
+                        help="collect results and audit them in a timed "
+                             "verify phase")
+    add_obs_flags(p_prof)
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_an = sub.add_parser("analyze", help="enumerate and summarize bicliques")
     add_graph_source(p_an)

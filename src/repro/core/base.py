@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.bigraph.graph import BipartiteGraph
+from repro.obs.metrics import NULL_INSTRUMENTATION, Instrumentation
 from repro.runtime.budget import NULL_GUARD, BudgetExceeded, BudgetGuard, RunBudget
 
 
@@ -211,6 +212,43 @@ class _GuardedSink(_Sink):
         self.guard.on_report(self.count)
 
 
+class _InstrumentedSink(_Sink):
+    """Reporter that additionally feeds the instrumentation per result.
+
+    Separate subclasses (rather than optional branches in :class:`_Sink`)
+    keep the plain un-instrumented, unbudgeted path free of any extra
+    work — the same layering as the budget guard sinks.
+    """
+
+    __slots__ = ("instr", "stats")
+
+    def __init__(self, collect: bool, swapped: bool,
+                 instr: Instrumentation, stats: "EnumerationStats"):
+        super().__init__(collect, swapped)
+        self.instr = instr
+        self.stats = stats
+
+    def __call__(self, left: Iterable[int], right: Iterable[int]) -> None:
+        super().__call__(left, right)
+        self.instr.on_report(self.count, self.stats)
+
+
+class _GuardedInstrumentedSink(_GuardedSink):
+    """Budget-guarded reporter that also feeds the instrumentation."""
+
+    __slots__ = ("instr", "stats")
+
+    def __init__(self, collect: bool, swapped: bool, guard: BudgetGuard,
+                 instr: Instrumentation, stats: "EnumerationStats"):
+        super().__init__(collect, swapped, guard)
+        self.instr = instr
+        self.stats = stats
+
+    def __call__(self, left: Iterable[int], right: Iterable[int]) -> None:
+        super().__call__(left, right)
+        self.instr.on_report(self.count, self.stats)
+
+
 class MBEAlgorithm(ABC):
     """Base class: subclasses implement :meth:`_enumerate` only.
 
@@ -228,6 +266,13 @@ class MBEAlgorithm(ABC):
     #: budgeted run this is the no-op :data:`NULL_GUARD`, so the unbudgeted
     #: path pays one attribute lookup and an empty call per node.
     _guard = NULL_GUARD
+
+    #: Active instrumentation handle for the current run.  Enumeration
+    #: loops call ``self._instr.pulse(stats)`` at coarse boundaries (per
+    #: subproblem or root branch) so progress stays alive through barren
+    #: stretches; outside an instrumented run this is the no-op
+    #: :data:`NULL_INSTRUMENTATION` (zero clock reads).
+    _instr = NULL_INSTRUMENTATION
 
     def __init__(self, orient_smaller_v: bool = False):
         self.orient_smaller_v = orient_smaller_v
@@ -247,6 +292,7 @@ class MBEAlgorithm(ABC):
         collect: bool = True,
         limits: EnumerationLimits | None = None,
         budget: RunBudget | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> MBEResult:
         """Enumerate all maximal bicliques of ``graph``.
 
@@ -257,18 +303,37 @@ class MBEAlgorithm(ABC):
         ``budget`` (or the simpler ``limits``) bounds the run; a tripped
         budget yields a partial result with ``complete=False`` and the
         stop reason in ``meta["stopped"]``.
+
+        ``instrumentation`` attaches the observability subsystem
+        (``docs/observability.md``): the ``enumerate`` phase is timed as a
+        tracer span, the run's stats publish into the metric registry, and
+        progress heartbeats fire from the reporting path.  Without it the
+        run carries :data:`NULL_INSTRUMENTATION` and performs zero
+        instrumentation clock reads.
         """
         budget = resolve_budget(limits, budget)
+        instr = (
+            instrumentation if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
         work_graph, swapped = (
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
         stats = EnumerationStats()
         if budget is None:
             guard = NULL_GUARD
-            sink = _Sink(collect, swapped)
+            sink = (
+                _InstrumentedSink(collect, swapped, instr, stats)
+                if instr.enabled
+                else _Sink(collect, swapped)
+            )
         else:
             guard = budget.arm()
-            sink = _GuardedSink(collect, swapped, guard)
+            sink = (
+                _GuardedInstrumentedSink(collect, swapped, guard, instr, stats)
+                if instr.enabled
+                else _GuardedSink(collect, swapped, guard)
+            )
 
         # Enumeration recursion is bounded by the V side, but signature
         # chains inside a subtree can be as deep as the largest left
@@ -278,21 +343,34 @@ class MBEAlgorithm(ABC):
         old_limit = sys.getrecursionlimit()
         if depth_need > old_limit:
             sys.setrecursionlimit(depth_need)
+        if instr.enabled:
+            instr.begin_run(
+                self.name, stats,
+                total_subtrees=sum(
+                    1 for v in range(work_graph.n_v)
+                    if work_graph.degree_v(v) > 0
+                ),
+            )
         start = time.perf_counter()
         complete = True
         stopped: str | None = None
         self._guard = guard
+        self._instr = instr
         try:
-            self._enumerate(work_graph, sink, stats)
+            with instr.phase("enumerate"):
+                self._enumerate(work_graph, sink, stats)
         except BudgetExceeded as exc:
             complete = False
             stopped = exc.reason or guard.reason or "limit"
         finally:
             self._guard = NULL_GUARD
+            self._instr = NULL_INSTRUMENTATION
             if depth_need > old_limit:
                 sys.setrecursionlimit(old_limit)
         elapsed = time.perf_counter() - start
         stats.maximal = sink.count
+        if instr.enabled:
+            instr.end_run(self.name, stats, elapsed, sink.count, complete)
         return MBEResult(
             algorithm=self.name,
             count=sink.count,
@@ -332,6 +410,7 @@ def run_mbe(
     time_limit: float | None = None,
     node_limit: int | None = None,
     budget: RunBudget | None = None,
+    instrumentation: Instrumentation | None = None,
     **options,
 ) -> MBEResult:
     """Run a registered algorithm by name — the library's main entry point.
@@ -342,6 +421,9 @@ def run_mbe(
     interval).  The enumeration-node cap is named ``node_limit`` here
     because ``max_nodes`` is already MBETM's trie-budget constructor
     option, which ``**options`` forwards.
+
+    ``instrumentation`` attaches an :class:`repro.obs.Instrumentation`
+    handle: metrics, phase spans, and progress heartbeats for the run.
 
     >>> from repro import BipartiteGraph, run_mbe
     >>> g = BipartiteGraph([(0, 0), (0, 1), (1, 0), (1, 1), (2, 1)])
@@ -363,4 +445,7 @@ def run_mbe(
             max_bicliques=max_bicliques,
             max_nodes=node_limit,
         )
-    return algo.run(graph, collect=collect, budget=budget)
+    return algo.run(
+        graph, collect=collect, budget=budget,
+        instrumentation=instrumentation,
+    )

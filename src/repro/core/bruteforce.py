@@ -45,6 +45,8 @@ class BruteForceMBE(MBEAlgorithm):
             )
         active = [v for v in range(n_v) if graph.degree_v(v) > 0]
         for size in range(1, len(active) + 1):
+            # per-size-class progress hook; no-op without instrumentation
+            self._instr.pulse(stats)
             for rs in combinations(active, size):
                 stats.nodes += 1
                 self._guard.tick()

@@ -57,6 +57,7 @@ class NaiveMBE(MBEAlgorithm):
     ) -> None:
         stats.nodes += 1
         self._guard.tick()
+        self._instr.pulse(stats)
         n = len(cands)
         for i in range(n):
             x = cands[i]
@@ -124,6 +125,7 @@ class _QSearchBase(MBEAlgorithm):
     ) -> None:
         stats.nodes += 1
         self._guard.tick()
+        self._instr.pulse(stats)
         if self.sort_candidates:
             sizes = {
                 w: len(left & graph.neighbors_v_set(w)) for w in cands

@@ -176,6 +176,8 @@ class MBET(MBEAlgorithm):
                 continue
             stats.subtrees += 1
             self._run_subproblem(sub, report, stats)
+            # coarse progress-liveness hook; no-op without instrumentation
+            self._instr.pulse(stats)
 
     def _accept_subproblem(self, sub: Subproblem, stats: EnumerationStats) -> bool:
         """Gate a subproblem against size thresholds and bound hooks.

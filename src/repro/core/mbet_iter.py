@@ -73,6 +73,10 @@ class MBETIterative(MBET):
                 for token in reversed(frame.tokens):
                     store.remove(token)
                 stack.pop()
+                if len(stack) == 1:
+                    # back at the root frame: one root branch finished —
+                    # progress-liveness hook, no-op without instrumentation
+                    self._instr.pulse(stats)
                 continue
             i = frame.index
             new_left, gverts = frame.groups[i]

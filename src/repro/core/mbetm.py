@@ -23,6 +23,7 @@ from repro.bigraph.graph import BipartiteGraph
 from repro.core.base import Biclique, EnumerationStats, register
 from repro.core.decompose import iter_subproblems
 from repro.core.mbet import MBET
+from repro.obs.metrics import NULL_INSTRUMENTATION
 from repro.runtime.budget import NULL_GUARD, BudgetExceeded, RunBudget
 
 #: Default prefix-tree node budget (per subtree), chosen so the trie fits
@@ -68,7 +69,10 @@ class MBETM(MBET):
         return self.trie_max_nodes
 
     def iter_bicliques(
-        self, graph: BipartiteGraph, budget: RunBudget | None = None
+        self,
+        graph: BipartiteGraph,
+        budget: RunBudget | None = None,
+        instrumentation=None,
     ) -> Iterator[tuple[float, Biclique]]:
         """Yield ``(seconds_since_start, biclique)`` progressively.
 
@@ -76,8 +80,14 @@ class MBETM(MBET):
         consumer can plot cumulative output over time or stop early without
         paying for the full enumeration.  An optional ``budget`` bounds the
         walk; when it trips, the generator simply stops yielding (the
-        already-yielded prefix is exact).
+        already-yielded prefix is exact).  ``instrumentation`` receives a
+        progress pulse per completed subtree and the run's stats when the
+        walk finishes.
         """
+        instr = (
+            instrumentation if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
         work_graph, swapped = (
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
@@ -85,6 +95,7 @@ class MBETM(MBET):
         guard = budget.arm() if budget is not None else NULL_GUARD
         start = time.perf_counter()
         self._guard = guard
+        self._instr = instr
         try:
             for sub in iter_subproblems(
                 work_graph, self.order, seed=self.seed, guard=guard
@@ -98,6 +109,8 @@ class MBETM(MBET):
                     _batch.append(Biclique.make(left, right))
 
                 self._run_subproblem(sub, collect, stats)
+                stats.maximal += len(batch)
+                instr.pulse(stats)
                 now = time.perf_counter() - start
                 for b in batch:
                     yield (now, b.swap() if swapped else b)
@@ -105,3 +118,6 @@ class MBETM(MBET):
             return
         finally:
             self._guard = NULL_GUARD
+            self._instr = NULL_INSTRUMENTATION
+            if instr.enabled:
+                instr.publish_stats(stats)

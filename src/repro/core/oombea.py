@@ -41,6 +41,8 @@ class OOMBEA(MBEAlgorithm):
             graph, self.order, seed=self.seed, guard=self._guard
         ):
             stats.subtrees += 1
+            # coarse progress-liveness hook; no-op without instrumentation
+            self._instr.pulse(stats)
             space = sub.space
             report(space.universe, sub.right)
             if not sub.cands:

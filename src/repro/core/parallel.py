@@ -55,6 +55,7 @@ from repro.core.base import (
 )
 from repro.core.decompose import build_subproblem
 from repro.core.mbet import MBET
+from repro.obs.metrics import NULL_INSTRUMENTATION
 from repro.runtime.budget import NULL_GUARD, BudgetExceeded, RunBudget
 from repro.runtime.checkpoint import (
     CheckpointWriter,
@@ -112,7 +113,7 @@ def _init_worker(
     cancel_event,
     shared_counter,
     max_results: int | None,
-    wall_deadline: float | None,
+    deadline: float | None,
     inline: bool = False,
 ) -> None:
     _WORKER.update(
@@ -124,7 +125,7 @@ def _init_worker(
         cancel_event=cancel_event,
         shared=shared_counter,
         max_results=max_results,
-        wall_deadline=wall_deadline,
+        deadline=deadline,
         inline=inline,
     )
 
@@ -152,11 +153,12 @@ def _run_task(task: tuple[int, int, int], attempt: int):
     results: list[Biclique] = []
 
     # Per-task sub-deadline: remaining share of the run's wall-clock
-    # budget, measured on the wall clock so it is comparable across
-    # processes.
+    # budget.  CLOCK_MONOTONIC is system-wide, so the driver's absolute
+    # deadline is comparable across forked workers — and, unlike
+    # time.time(), an NTP step cannot stretch or collapse the budget.
     time_limit = None
-    if ctx["wall_deadline"] is not None:
-        time_limit = ctx["wall_deadline"] - time.time()
+    if ctx["deadline"] is not None:
+        time_limit = ctx["deadline"] - time.monotonic()
         if time_limit <= 0:
             return 0, stats.as_dict(), results if collect else None, False, (
                 "time_limit"
@@ -361,6 +363,7 @@ class ParallelMBE(MBEAlgorithm):
         collect: bool = True,
         limits: EnumerationLimits | None = None,
         budget: RunBudget | None = None,
+        instrumentation=None,
     ) -> MBEResult:
         """Enumerate in parallel; degrades gracefully under any failure.
 
@@ -371,17 +374,36 @@ class ParallelMBE(MBEAlgorithm):
         ``meta["failures"]`` and flag the result ``complete=False`` rather
         than raising.  With ``checkpoint=path``, completed tasks are
         persisted as they finish and a restart skips them.
+
+        ``instrumentation`` observes the whole distribution: task planning
+        is timed as a ``decompose`` span, pooled execution as an
+        ``enumerate`` span, each worker's stats snapshot is aggregated
+        into the metric registry, and the executor publishes its
+        retry/crash/stall counters and incident events.
         """
         budget = resolve_budget(limits, budget)
+        instr = (
+            instrumentation if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
         work_graph, swapped = (
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
         algo_options = {"order": self.order, "seed": self.seed}
-        rank = rank_of(vertex_order(work_graph, self.order, seed=self.seed))
-        all_tasks = self._make_tasks(work_graph)
+        with instr.phase("decompose"):
+            rank = rank_of(vertex_order(work_graph, self.order, seed=self.seed))
+            all_tasks = self._make_tasks(work_graph)
 
         start = time.perf_counter()
         stats = EnumerationStats()
+        if instr.enabled:
+            instr.begin_run(self.name, stats, total_subtrees=len(all_tasks))
+            instr.gauge("parallel_workers", "pool size of the run").set(
+                self.workers
+            )
+            instr.gauge("parallel_tasks", "root-slice tasks planned").set(
+                len(all_tasks)
+            )
         bicliques: list[Biclique] = []
         count = 0
         saw_partial = False
@@ -413,10 +435,13 @@ class ParallelMBE(MBEAlgorithm):
             meta["resumed_tasks"] = len(resumed)
 
         # -- budget wiring -------------------------------------------------
+        # One monotonic deadline serves every consumer (executor loop and
+        # per-task sub-deadlines in workers): CLOCK_MONOTONIC is
+        # system-wide on the platforms we fork on, and a single clock
+        # means an NTP step can never break budget math.
         max_results = budget.max_bicliques if budget is not None else None
         time_limit = budget.time_limit if budget is not None else None
-        wall_deadline = time.time() + time_limit if time_limit is not None else None
-        mono_deadline = (
+        deadline = (
             time.monotonic() + time_limit if time_limit is not None else None
         )
 
@@ -445,6 +470,14 @@ class ParallelMBE(MBEAlgorithm):
             stats.merge(part_stats)
             if collect and task_bicliques:
                 bicliques.extend(task_bicliques)
+            if instr.enabled:
+                # per-worker snapshot: one trace event per task, plus a
+                # progress pulse over the aggregated driver-side stats
+                instr.event(
+                    "task_done", task=list(task), count=task_count,
+                    nodes=stats_dict.get("nodes", 0), complete=task_complete,
+                )
+                instr.on_report(count, stats)
             if not task_complete:
                 saw_partial = True
                 if reason:
@@ -472,7 +505,7 @@ class ParallelMBE(MBEAlgorithm):
                         initargs=(
                             work_graph, rank, algo_options, collect,
                             self.faults, cancel_event, shared, max_results,
-                            wall_deadline,
+                            deadline,
                         ),
                     )
                 )
@@ -484,7 +517,8 @@ class ParallelMBE(MBEAlgorithm):
             backoff=self.retry_backoff,
             task_timeout=self.task_timeout,
             max_inflight=self.workers,
-            deadline=mono_deadline,
+            deadline=deadline,
+            instr=instr,
             cancel=(
                 (lambda: count >= max_results)
                 if max_results is not None
@@ -495,16 +529,17 @@ class ParallelMBE(MBEAlgorithm):
             ),
         )
         try:
-            if not tasks:
-                report = None
-            elif pooled:
-                report = executor.run(tasks)
-            else:
-                _init_worker(
-                    work_graph, rank, algo_options, collect, self.faults,
-                    None, shared, max_results, wall_deadline, inline=True,
-                )
-                report = executor.run_serial(tasks)
+            with instr.phase("enumerate"):
+                if not tasks:
+                    report = None
+                elif pooled:
+                    report = executor.run(tasks)
+                else:
+                    _init_worker(
+                        work_graph, rank, algo_options, collect, self.faults,
+                        None, shared, max_results, deadline, inline=True,
+                    )
+                    report = executor.run_serial(tasks)
         finally:
             if writer is not None:
                 writer.close()
@@ -551,6 +586,8 @@ class ParallelMBE(MBEAlgorithm):
 
         elapsed = time.perf_counter() - start
         stats.maximal = count
+        if instr.enabled:
+            instr.end_run(self.name, stats, elapsed, count, complete)
         if collect and swapped:
             bicliques = [b.swap() for b in bicliques]
         return MBEResult(

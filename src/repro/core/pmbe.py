@@ -54,6 +54,7 @@ class PMBE(MBEAlgorithm):
     ) -> None:
         stats.nodes += 1
         self._guard.tick()
+        self._instr.pulse(stats)
         local = {w: left & graph.neighbors_v_set(w) for w in cands}
         stats.intersections += len(cands)
 

@@ -1,0 +1,54 @@
+"""repro.obs — metrics, tracing, and progress for every enumerator.
+
+The observability subsystem (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — typed counters/gauges/histograms in a
+  :class:`MetricRegistry`, and the :class:`Instrumentation` handle that
+  bundles metrics + tracing + progress behind the
+  :data:`NULL_INSTRUMENTATION` zero-overhead fast path.
+* :mod:`repro.obs.trace` — span-style phase timers and a bounded,
+  monotonic-timestamped event log.
+* :mod:`repro.obs.progress` — cooperative heartbeat reporting
+  (bicliques/sec, nodes/sec, subtree-completion ETA) as a live TTY line
+  or a JSONL stream.
+* :mod:`repro.obs.sinks` — JSONL and Prometheus text-exposition export.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumentation,
+    MetricRegistry,
+    NULL_INSTRUMENTATION,
+    StatsView,
+    stat_metric_name,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.sinks import (
+    JsonlSink,
+    parse_prometheus_text,
+    prometheus_text,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.trace import SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JsonlSink",
+    "MetricRegistry",
+    "NULL_INSTRUMENTATION",
+    "ProgressReporter",
+    "SpanRecord",
+    "StatsView",
+    "Tracer",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "stat_metric_name",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,164 @@
+"""Heartbeat progress reporting for long enumeration runs.
+
+A :class:`ProgressReporter` turns the stream of per-result and
+per-subproblem hooks into throttled heartbeats carrying rates
+(bicliques/sec, nodes/sec) and an ETA extrapolated from first-level
+subtree completion.  Two output modes:
+
+* ``"tty"`` — a single live line rewritten in place (``\\r``), finished
+  with a newline; made for a human watching stderr.
+* ``"jsonl"`` — one JSON object per heartbeat; made for a supervisor
+  process tailing the stream.
+
+Heartbeats are cooperative (emitted from inside the enumeration loop, no
+threads) and cheap: a power-of-two call stride gates the clock read, and
+the clock is only consulted every ``stride`` hook calls, then the
+heartbeat only fires ``interval`` seconds after the previous one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, TextIO
+
+from repro.obs.trace import MONOTONIC
+
+__all__ = ["ProgressReporter"]
+
+
+def _rate(value: int, elapsed: float) -> float:
+    return value / elapsed if elapsed > 0 else 0.0
+
+
+class ProgressReporter:
+    """Throttled heartbeat emitter; see the module docstring."""
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        mode: str = "tty",
+        interval: float = 1.0,
+        stride: int = 32,
+        clock: Callable[[], float] | None = None,
+        label: str = "mbe",
+    ):
+        if mode not in ("tty", "jsonl"):
+            raise ValueError(f"unknown progress mode {mode!r}")
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        if stride < 1:
+            raise ValueError("stride must be positive")
+        self.stream = stream  # None -> sys.stderr, resolved lazily
+        self.mode = mode
+        self.interval = interval
+        self.clock = clock if clock is not None else MONOTONIC
+        self.label = label
+        mask = 1
+        while mask < stride:
+            mask <<= 1
+        self._mask = mask - 1
+        self._calls = 0
+        self._started = None  # type: float | None
+        self._last_emit = 0.0
+        self._last_count = 0
+        self.total_subtrees: int | None = None
+        self.heartbeats = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, total_subtrees: int | None = None) -> None:
+        """Arm the reporter at the start of a run."""
+        self._started = self.clock()
+        self._last_emit = self._started
+        self._calls = 0
+        self._last_count = 0
+        self.total_subtrees = total_subtrees
+
+    def maybe_emit(self, count: int | None, stats: Any) -> None:
+        """Hook entry point; emits at most once per ``interval`` seconds.
+
+        ``count`` is the running result total when called from the
+        reporting sink, or None from coarse ``pulse`` boundaries (the
+        previous count is reused).
+        """
+        if count is None:
+            count = self._last_count
+        else:
+            self._last_count = count
+        self._calls += 1
+        if self._calls & self._mask:
+            return
+        if self._started is None:
+            self.start()
+        now = self.clock()
+        if now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        self._emit(now, count, stats, final=False)
+
+    def finish(self, count: int, stats: Any) -> None:
+        """Emit the final heartbeat (and the tty newline)."""
+        if self._started is None:
+            self.start()
+        self._last_count = count
+        self._emit(self.clock(), count, stats, final=True)
+
+    # -- formatting ---------------------------------------------------------
+
+    def snapshot(self, now: float, count: int, stats: Any,
+                 final: bool = False) -> dict[str, Any]:
+        """The machine-readable heartbeat record."""
+        elapsed = now - (self._started if self._started is not None else now)
+        nodes = getattr(stats, "nodes", 0)
+        subtrees = getattr(stats, "subtrees", 0)
+        record: dict[str, Any] = {
+            "kind": "progress",
+            "elapsed": round(elapsed, 6),
+            "bicliques": count,
+            "bicliques_per_sec": round(_rate(count, elapsed), 3),
+            "nodes": nodes,
+            "nodes_per_sec": round(_rate(nodes, elapsed), 3),
+            "subtrees": subtrees,
+        }
+        if self.total_subtrees:
+            record["total_subtrees"] = self.total_subtrees
+            if subtrees and not final:
+                remaining = max(0, self.total_subtrees - subtrees)
+                record["eta"] = round(elapsed * remaining / subtrees, 3)
+        if final:
+            record["final"] = True
+        return record
+
+    def format_line(self, record: dict[str, Any]) -> str:
+        """The human-readable tty rendering of one heartbeat."""
+        parts = [
+            f"[{self.label}] {record['bicliques']:,} bicliques "
+            f"({record['bicliques_per_sec']:,.0f}/s)",
+            f"{record['nodes']:,} nodes ({record['nodes_per_sec']:,.0f}/s)",
+        ]
+        if "total_subtrees" in record:
+            parts.append(
+                f"subtrees {record['subtrees']:,}/{record['total_subtrees']:,}"
+            )
+        elif record["subtrees"]:
+            parts.append(f"subtrees {record['subtrees']:,}")
+        if "eta" in record:
+            parts.append(f"eta {record['eta']:.1f}s")
+        parts.append(f"{record['elapsed']:.1f}s")
+        return " | ".join(parts)
+
+    def _emit(self, now: float, count: int, stats: Any, final: bool) -> None:
+        stream = self.stream
+        if stream is None:
+            import sys
+
+            stream = sys.stderr
+        record = self.snapshot(now, count, stats, final=final)
+        self.heartbeats += 1
+        if self.mode == "jsonl":
+            stream.write(json.dumps(record) + "\n")
+        else:
+            line = self.format_line(record)
+            end = "\n" if final else ""
+            stream.write(f"\r\x1b[2K{line}{end}")
+        stream.flush()

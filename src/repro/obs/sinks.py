@@ -1,0 +1,159 @@
+"""Export surfaces for the observability data: JSONL and Prometheus text.
+
+Two formats cover the two consumption patterns:
+
+* **JSONL** (:class:`JsonlSink`, :func:`write_trace_jsonl`) — one JSON
+  object per line, append-friendly, the same convention as the runtime's
+  checkpoint files.  Used for trace event logs, progress streams, and
+  benchmark snapshots.
+* **Prometheus text exposition** (:func:`prometheus_text`,
+  :func:`write_prometheus`) — the ``# HELP`` / ``# TYPE`` / sample format
+  scrape targets serve, rendered from a :class:`~repro.obs.metrics
+  .MetricRegistry`.  :func:`parse_prometheus_text` is the inverse for
+  tests and tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Iterable, TextIO
+
+from repro.obs.metrics import MetricRegistry, _render_name
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "JsonlSink",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "write_prometheus",
+    "write_trace_jsonl",
+]
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a path or an open stream."""
+
+    def __init__(self, target: str | os.PathLike[str] | TextIO):
+        if hasattr(target, "write"):
+            self._stream: TextIO = target  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._stream = open(os.fspath(target), "w", encoding="utf-8")
+            self._owned = True
+        self.written = 0
+
+    def write(self, record: dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.written += 1
+
+    def write_all(self, records: Iterable[dict[str, Any]]) -> int:
+        for record in records:
+            self.write(record)
+        return self.written
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owned:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_trace_jsonl(
+    tracer: Tracer, target: str | os.PathLike[str] | TextIO
+) -> int:
+    """Dump a tracer's spans and events as JSONL; returns lines written.
+
+    A final ``trace_meta`` record carries the drop count so bounded-log
+    truncation is visible in the file itself.
+    """
+    with JsonlSink(target) as sink:
+        sink.write_all(tracer.records())
+        sink.write({
+            "kind": "trace_meta",
+            "spans": len(tracer.spans),
+            "events": len(tracer.events),
+            "dropped_events": tracer.dropped,
+        })
+        return sink.written
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry:
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        labels = dict(metric.labels)
+        if metric.kind == "histogram":
+            # bucket_counts are already cumulative (see Histogram.observe)
+            for bound, n in zip(metric.bounds, metric.bucket_counts):
+                key = _render_name(
+                    metric.name + "_bucket", tuple(
+                        sorted({**labels, "le": _format_value(bound)}.items())
+                    )
+                )
+                lines.append(f"{key} {n}")
+            key = _render_name(
+                metric.name + "_bucket",
+                tuple(sorted({**labels, "le": "+Inf"}.items())),
+            )
+            lines.append(f"{key} {metric.count}")
+            lines.append(
+                f"{_render_name(metric.name + '_sum', metric.labels)} "
+                f"{_format_value(metric.sum)}"
+            )
+            lines.append(
+                f"{_render_name(metric.name + '_count', metric.labels)} "
+                f"{metric.count}"
+            )
+        else:
+            lines.append(
+                f"{_render_name(metric.name, metric.labels)} "
+                f"{_format_value(metric.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    registry: MetricRegistry, path: str | os.PathLike[str]
+) -> None:
+    """Write the registry's text exposition to ``path``."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Parse exposition text into ``{sample_name: value}``.
+
+    Sample names keep their label block verbatim
+    (``mbe_run_elapsed_seconds{algorithm="mbet"}``); comment lines are
+    skipped.  Lenient enough for round-trip tests and tooling, not a full
+    scraper.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = math.inf if value == "+Inf" else float(value)
+    return samples

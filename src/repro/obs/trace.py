@@ -1,0 +1,116 @@
+"""Span-style phase timing and a bounded structured event log.
+
+A :class:`Tracer` records two kinds of facts about a run:
+
+* **Spans** — named phases (``load`` → ``decompose`` → ``enumerate`` →
+  ``verify``) with start/end timestamps on a monotonic clock.  Spans nest;
+  :meth:`Tracer.phase_durations` folds them into a per-phase total for the
+  ``repro profile`` breakdown table.
+* **Events** — point-in-time records (task completions, retries, run
+  boundaries) appended to a *bounded* ring: the log never grows past
+  ``max_events`` entries, dropped-oldest events are counted in
+  ``Tracer.dropped`` so truncation is visible rather than silent.
+
+Every record carries a ``ts`` taken from the tracer's clock, which is
+monotonic (:data:`MONOTONIC`) by default and injectable for tests.  The
+whole module is standalone — it imports nothing from the rest of the
+package — so any layer (runtime, core, CLI) can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = ["MONOTONIC", "SpanRecord", "Tracer"]
+
+#: The clock every obs component reads by default.  A module attribute
+#: (not a bound default argument) so tests can monkeypatch it with a
+#: counting fake and prove the un-instrumented path never reads it.
+MONOTONIC: Callable[[], float] = time.perf_counter
+
+#: Default bound on the event ring.
+DEFAULT_MAX_EVENTS = 10_000
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed phase: name, nesting depth, and clock interval."""
+
+    name: str
+    start: float
+    end: float
+    depth: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Seconds spent inside the span (including nested spans)."""
+        return self.end - self.start
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSONL-ready record (``kind: span``)."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "ts": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+        }
+
+
+class Tracer:
+    """Collects spans and bounded events on one monotonic clock."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ):
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.clock = clock if clock is not None else MONOTONIC
+        self.spans: list[SpanRecord] = []
+        self.events: deque[dict[str, Any]] = deque(maxlen=max_events)
+        self.dropped = 0
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a phase; the span is recorded even when the body raises."""
+        start = self.clock()
+        depth = self._depth
+        self._depth = depth + 1
+        try:
+            yield
+        finally:
+            self._depth = depth
+            self.spans.append(SpanRecord(name, start, self.clock(), depth))
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Append a timestamped event; oldest events drop past the bound."""
+        if len(self.events) == self.events.maxlen:
+            self.dropped += 1
+        record = {"kind": "event", "name": name, "ts": self.clock()}
+        record.update(fields)
+        self.events.append(record)
+
+    def phase_durations(self) -> dict[str, float]:
+        """Total seconds per span name, in first-seen order."""
+        totals: dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        return totals
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """All spans and events as JSONL-ready dicts, in timestamp order."""
+        merged = [s.as_dict() for s in self.spans]
+        merged.extend(self.events)
+        merged.sort(key=lambda r: r["ts"])
+        return iter(merged)
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.events)

@@ -43,6 +43,8 @@ from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.metrics import NULL_INSTRUMENTATION
+
 try:  # BrokenExecutor covers BrokenProcessPool on all supported versions
     from concurrent.futures import BrokenExecutor
 except ImportError:  # pragma: no cover
@@ -110,6 +112,7 @@ class ResilientExecutor:
         deadline: float | None = None,
         cancel: Callable[[], bool] | None = None,
         split_fn: Callable[[tuple, int], list[tuple] | None] | None = None,
+        instr=NULL_INSTRUMENTATION,
     ):
         self.task_fn = task_fn
         self.pool_factory = pool_factory
@@ -122,6 +125,9 @@ class ResilientExecutor:
         self.deadline = deadline  # absolute time.monotonic() value
         self.cancel = cancel
         self.split_fn = split_fn
+        #: observability handle (repro.obs): retry/crash/stall counters
+        #: and per-incident trace events; no-op by default
+        self.instr = instr
 
     # -- shared bookkeeping ------------------------------------------------
 
@@ -145,8 +151,21 @@ class ResilientExecutor:
         attempts = attempt + 1
         if attempts > self.max_retries:
             report.failures.append(TaskFailure(task, attempts, error))
+            self.instr.counter(
+                "executor_task_failures_total",
+                "tasks that exhausted their retries",
+            ).inc()
+            self.instr.event(
+                "task_failed", task=list(task), attempts=attempts, error=error
+            )
             return
         report.retries += 1
+        self.instr.counter(
+            "executor_retries_total", "failed task attempts requeued"
+        ).inc()
+        self.instr.event(
+            "task_retry", task=list(task), attempt=attempts, error=error
+        )
         replacements = self.split_fn(task, attempts) if self.split_fn else None
         if replacements:
             pending.extend((t, 0) for t in replacements)
@@ -184,6 +203,11 @@ class ResilientExecutor:
                 _kill_pool(pool)
             if recycle and pending and report.stopped is None:
                 report.pool_restarts += 1
+                self.instr.counter(
+                    "executor_pool_restarts_total",
+                    "worker pools recycled after a crash or stall",
+                ).inc()
+                self.instr.event("pool_restart", generation=report.pool_restarts)
                 self._sleep_backoff(report)
         return report
 
@@ -265,6 +289,9 @@ class ResilientExecutor:
                 )
             else:
                 report.completed += 1
+                self.instr.counter(
+                    "executor_tasks_completed_total", "tasks finished"
+                ).inc()
                 self.on_result(task, result)
                 if self.cancel is not None and self.cancel():
                     report.stopped = "cancelled"
@@ -296,5 +323,8 @@ class ResilientExecutor:
                 self._sleep_backoff(report)
             else:
                 report.completed += 1
+                self.instr.counter(
+                    "executor_tasks_completed_total", "tasks finished"
+                ).inc()
                 self.on_result(task, result)
         return report

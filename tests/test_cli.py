@@ -82,6 +82,86 @@ class TestRunCommand:
         assert "mti" in capsys.readouterr().out
 
 
+class TestRunObservability:
+    def test_run_stderr_summary_without_output(self, g0_file, capsys):
+        assert main(["run", "--input", g0_file, "-a", "mbet"]) == 0
+        err = capsys.readouterr().err
+        assert "6 bicliques" in err
+        assert "nodes" in err
+
+    def test_metrics_out_parses_back(self, g0_file, tmp_path, capsys):
+        from repro.obs import parse_prometheus_text
+
+        prom = tmp_path / "metrics.prom"
+        assert main(
+            ["run", "--input", g0_file, "--metrics-out", str(prom)]
+        ) == 0
+        samples = parse_prometheus_text(prom.read_text())
+        assert samples["mbe_maximal_total"] == 6
+        assert samples["mbe_runs_total"] == 1
+        assert "wrote metrics" in capsys.readouterr().err
+
+    def test_trace_out_is_valid_jsonl(self, g0_file, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "--input", g0_file, "--trace-out", str(trace)]
+        ) == 0
+        records = [json.loads(x) for x in trace.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert "span" in kinds and "event" in kinds
+        assert records[-1]["kind"] == "trace_meta"
+        span_names = {r["name"] for r in records if r["kind"] == "span"}
+        assert "enumerate" in span_names
+
+    def test_progress_jsonl_heartbeat(self, g0_file, capsys):
+        import json
+
+        assert main(
+            ["run", "--input", g0_file, "--progress", "jsonl"]
+        ) == 0
+        err_lines = capsys.readouterr().err.splitlines()
+        heartbeats = [
+            json.loads(x) for x in err_lines if x.startswith("{")
+        ]
+        assert heartbeats
+        assert heartbeats[-1]["kind"] == "progress"
+        assert heartbeats[-1]["final"] is True
+        assert heartbeats[-1]["bicliques"] == 6
+
+
+class TestProfileCommand:
+    def test_profile_prints_breakdowns(self, capsys):
+        assert main(
+            ["profile", "--dataset", "mti", "--algorithm", "mbet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown:" in out
+        assert "prune breakdown:" in out
+        assert "load" in out
+        assert "enumerate" in out
+        assert "trie_pruned" in out
+        assert "subtrees" in out
+
+    def test_profile_verify_adds_phase(self, g0_file, capsys):
+        assert main(
+            ["profile", "--input", g0_file, "-a", "mbet", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verify" in out
+
+    def test_profile_with_metrics_out(self, g0_file, tmp_path):
+        from repro.obs import parse_prometheus_text
+
+        prom = tmp_path / "m.prom"
+        assert main(
+            ["profile", "--input", g0_file, "--metrics-out", str(prom)]
+        ) == 0
+        samples = parse_prometheus_text(prom.read_text())
+        assert samples["mbe_maximal_total"] == 6
+
+
 class TestOtherCommands:
     def test_stats(self, g0_file, capsys):
         assert main(["stats", "--input", g0_file]) == 0

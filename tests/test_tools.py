@@ -8,6 +8,7 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 SCRIPT = ROOT / "tools" / "build_experiments_md.py"
+BENCH_SCRIPT = ROOT / "tools" / "bench_snapshot.py"
 
 
 def run_tool(*args: str) -> subprocess.CompletedProcess:
@@ -44,3 +45,29 @@ class TestBuildExperimentsMd:
         # every experiment id in the summary table has a section
         for exp_id in ("R-T1", "R-T2", "R-F1", "R-F10", "R-E1", "R-E4"):
             assert f"### {exp_id}:" in text
+
+
+class TestBenchSnapshot:
+    def test_writes_dated_json_with_metrics(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, str(BENCH_SCRIPT),
+             "--out", str(tmp_path), "--date", "2026-01-02",
+             "--datasets", "mti", "--algorithms", "mbet",
+             "--time-limit", "30"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        target = tmp_path / "BENCH_2026-01-02.json"
+        assert target.exists()
+        import json
+
+        doc = json.loads(target.read_text())
+        assert doc["date"] == "2026-01-02"
+        assert doc["datasets"] == ["mti"]
+        (record,) = doc["records"]
+        assert record["algorithm"] == "mbet"
+        assert record["status"] == "ok"
+        assert record["count"] == 2341
+        # every row carries the observability snapshot
+        assert record["metrics"]["counters"]["mbe_maximal_total"] == 2341
+        assert "mbe_run_seconds" in record["metrics"]["histograms"]

@@ -1,0 +1,106 @@
+"""Capture a dated benchmark snapshot as ``BENCH_<date>.json``.
+
+Usage: python tools/bench_snapshot.py [--out DIR] [--date YYYY-MM-DD]
+           [--datasets a,b,...] [--algorithms x,y,...] [--time-limit S]
+
+Runs a small fixed suite (default: the quick zoo datasets against the
+headline algorithms) through :func:`repro.bench.runner.run_timed` with an
+:class:`repro.obs.Instrumentation` attached, so every row carries the
+run's metric-registry snapshot next to its timing.  The output file is a
+single JSON document::
+
+    {"date": "...", "python": "...", "records": [RunRecord.as_dict(), ...]}
+
+Snapshots are meant to be committed occasionally so performance drift is
+visible in history; the metrics block makes regressions attributable
+(e.g. "same count, 3x more intersections") rather than just observable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import platform
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import datasets  # noqa: E402
+from repro.bench.runner import run_timed  # noqa: E402
+from repro.obs import Instrumentation  # noqa: E402
+
+DEFAULT_DATASETS = ("mti", "wa", "tm")
+DEFAULT_ALGORITHMS = ("mbet", "mbet_iter", "imbea")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=".",
+                        help="directory to write BENCH_<date>.json into")
+    parser.add_argument("--date", default=None,
+                        help="override the snapshot date (YYYY-MM-DD); "
+                             "defaults to today")
+    parser.add_argument("--datasets",
+                        default=",".join(DEFAULT_DATASETS),
+                        help="comma-separated zoo dataset keys")
+    parser.add_argument("--algorithms",
+                        default=",".join(DEFAULT_ALGORITHMS),
+                        help="comma-separated algorithm names")
+    parser.add_argument("--time-limit", type=float, default=30.0,
+                        help="per-run budget in seconds (default 30)")
+    return parser
+
+
+def snapshot(
+    dataset_names: list[str],
+    algorithms: list[str],
+    time_limit: float,
+) -> list[dict]:
+    """Run the suite; one ``RunRecord.as_dict()`` per (dataset, algorithm)."""
+    records: list[dict] = []
+    for name in dataset_names:
+        graph = datasets.load(name)
+        for algorithm in algorithms:
+            # fresh registry per run so each row's metrics stand alone
+            instr = Instrumentation()
+            record = run_timed(
+                graph, algorithm, dataset=name,
+                time_limit=time_limit, instrumentation=instr,
+            )
+            records.append(record.as_dict())
+            print(
+                f"  {algorithm:>10s} on {name}: {record.count:,} bicliques "
+                f"in {record.elapsed:.3f}s ({record.status})",
+                file=sys.stderr,
+            )
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    date = args.date or datetime.date.today().isoformat()
+    dataset_names = [d for d in args.datasets.split(",") if d]
+    algorithms = [a for a in args.algorithms.split(",") if a]
+    records = snapshot(dataset_names, algorithms, args.time_limit)
+    doc = {
+        "date": date,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "datasets": dataset_names,
+        "algorithms": algorithms,
+        "time_limit": args.time_limit,
+        "records": records,
+    }
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    target = out_dir / f"BENCH_{date}.json"
+    target.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
