@@ -1,0 +1,127 @@
+"""Graph cases for the fuzzing harness: seeded generators, zoo, explicit.
+
+A :class:`GraphCase` is a *recipe*, not a graph: it records how to rebuild
+the graph (generator kind plus parameters, a dataset key, or an explicit
+edge list), which makes every case JSON-serializable — counterexample
+reports replay byte-for-byte from their saved case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.bigraph.generators import (
+    planted_bicliques,
+    powerlaw_bipartite,
+    random_bipartite,
+)
+from repro.bigraph.graph import BipartiteGraph
+
+
+@dataclass(frozen=True)
+class GraphCase:
+    """One reproducible input graph for the harness."""
+
+    kind: str  # "random" | "powerlaw" | "planted" | "dataset" | "explicit"
+    params: tuple[tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, kind: str, **params: Any) -> "GraphCase":
+        return cls(kind, tuple(sorted(params.items())))
+
+    @classmethod
+    def explicit(cls, graph: BipartiteGraph) -> "GraphCase":
+        """Freeze a concrete graph (used for shrunken counterexamples)."""
+        return cls.make(
+            "explicit",
+            edges=tuple(graph.edges()),
+            n_u=graph.n_u,
+            n_v=graph.n_v,
+        )
+
+    def opts(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def build(self) -> BipartiteGraph:
+        """Materialize the case's graph."""
+        p = self.opts()
+        if self.kind == "random":
+            return random_bipartite(p["n_u"], p["n_v"], p["p"], seed=p["seed"])
+        if self.kind == "powerlaw":
+            return powerlaw_bipartite(
+                p["n_u"], p["n_v"], p["n_edges"], p["exponent"], seed=p["seed"]
+            )
+        if self.kind == "planted":
+            return planted_bicliques(
+                p["n_u"], p["n_v"], p["n_blocks"],
+                noise_edges=p["noise_edges"], seed=p["seed"],
+            )
+        if self.kind == "dataset":
+            from repro import datasets
+
+            return datasets.load(p["key"])
+        if self.kind == "explicit":
+            return BipartiteGraph(
+                [tuple(e) for e in p["edges"]], n_u=p["n_u"], n_v=p["n_v"]
+            )
+        raise ValueError(f"unknown case kind {self.kind!r}")
+
+    def as_json(self) -> dict[str, Any]:
+        params = {
+            k: ([list(e) for e in v] if k == "edges" else v)
+            for k, v in self.params
+        }
+        return {"kind": self.kind, "params": params}
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "GraphCase":
+        params = dict(data["params"])
+        if "edges" in params:
+            params["edges"] = tuple(tuple(e) for e in params["edges"])
+        return cls.make(data["kind"], **params)
+
+    def label(self) -> str:
+        p = self.opts()
+        if self.kind == "dataset":
+            return f"dataset:{p['key']}"
+        if self.kind == "explicit":
+            return f"explicit:{p['n_u']}x{p['n_v']}:{len(p['edges'])}e"
+        return f"{self.kind}:seed={p.get('seed')}"
+
+
+def sample_case(rng: random.Random, max_side: int = 12) -> GraphCase:
+    """Draw one random generator case, brute-force tractable by size.
+
+    Mixes the three generator families: Erdős–Rényi at assorted densities
+    (the adversarial default), power-law (hub-skewed subtrees), and
+    planted blocks (overlap-heavy, the prefix-tree stress regime).
+    """
+    seed = rng.randrange(2**31)
+    kind = rng.choices(
+        ("random", "powerlaw", "planted"), weights=(6, 2, 2)
+    )[0]
+    n_u = rng.randint(1, max_side)
+    n_v = rng.randint(1, max_side)
+    if kind == "random":
+        p = rng.choice((0.1, 0.2, 0.3, 0.5, 0.7, 0.9))
+        return GraphCase.make("random", n_u=n_u, n_v=n_v, p=p, seed=seed)
+    if kind == "powerlaw":
+        n_edges = rng.randint(0, 4 * max_side)
+        return GraphCase.make(
+            "powerlaw", n_u=n_u, n_v=n_v, n_edges=n_edges,
+            exponent=rng.choice((1.6, 2.0, 2.5)), seed=seed,
+        )
+    return GraphCase.make(
+        "planted",
+        n_u=max(2, n_u), n_v=max(2, n_v),
+        n_blocks=rng.randint(1, 4),
+        noise_edges=rng.randint(0, max_side),
+        seed=seed,
+    )
+
+
+def dataset_cases(keys: Iterable[str]) -> list[GraphCase]:
+    """Zoo datasets as cases (``keys`` empty → no dataset cases)."""
+    return [GraphCase.make("dataset", key=key) for key in keys]

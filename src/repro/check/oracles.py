@@ -1,0 +1,311 @@
+"""The oracle battery: properties every engine must satisfy on any graph.
+
+Each oracle factory binds its configuration and returns a deterministic
+``graph -> OracleFailure | None`` callable, which is exactly the predicate
+shape :func:`repro.check.shrink.shrink_graph` minimizes against.
+
+Oracles
+-------
+``agreement``      definitional verification of every engine's result set
+                   (:func:`repro.core.verify.verify_result`) plus
+                   cross-engine set equality against a reference
+                   (brute force when tractable, else the first engine).
+``relabel``        vertex-relabeling equivariance: permuting ids permutes
+                   the result set and nothing else.
+``swap``           U/V-swap symmetry: enumerating the side-swapped graph
+                   yields the side-swapped result set.
+``threshold``      threshold monotonicity: the ``min_left``/``min_right``
+                   result set equals the filtered unconstrained set.
+``budget_prefix``  budget-prefix soundness: a ``max_bicliques``-capped run
+                   returns a duplicate-free subset of the full set, and is
+                   only incomplete when the cap actually bound.
+``kill_resume``    kill/resume parity: a checkpointed parallel run killed
+                   partway and resumed matches an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.core.base import Biclique, run_mbe
+from repro.core.verify import VerificationError, verify_result
+from repro.check.engines import EngineSpec
+from repro.runtime.budget import RunBudget
+from repro.runtime.faults import FaultPlan
+
+Oracle = Callable[[BipartiteGraph], "OracleFailure | None"]
+
+#: Graphs whose V side is at most this wide get a brute-force reference.
+BRUTEFORCE_MAX_SIDE = 16
+
+#: Result sets larger than this skip the per-biclique definitional audit
+#: (cross-engine equality still applies); keeps zoo-scale cases bounded.
+VERIFY_MAX_RESULTS = 5000
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One violated invariant: which oracle, which engine, what happened."""
+
+    oracle: str
+    engine: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.oracle}[{self.engine}]: {self.detail}"
+
+
+def _diff(got: frozenset, want: frozenset) -> str:
+    missing = sorted(want - got)[:3]
+    extra = sorted(got - want)[:3]
+    return (
+        f"{len(want - got)} missing (e.g. {missing}), "
+        f"{len(got - want)} unexpected (e.g. {extra})"
+    )
+
+
+def agreement_oracle(
+    engines: Sequence[EngineSpec],
+    reference: EngineSpec | None = None,
+    verify: bool = True,
+) -> Oracle:
+    """Cross-engine set equality plus definitional verification."""
+
+    def check(graph: BipartiteGraph) -> OracleFailure | None:
+        if reference is not None:
+            ref_spec = reference
+        elif min(graph.n_u, graph.n_v) <= BRUTEFORCE_MAX_SIDE:
+            ref_spec = EngineSpec.make("bruteforce")
+        else:
+            ref_spec = engines[0]
+        truth = ref_spec.result_set(graph)
+        if verify and len(truth) <= VERIFY_MAX_RESULTS:
+            try:
+                verify_result(graph, truth)
+            except VerificationError as exc:
+                return OracleFailure("agreement", ref_spec.label(), str(exc))
+        for spec in engines:
+            result = spec.run(graph, collect=True)
+            got = result.biclique_set()
+            if verify and len(got) <= VERIFY_MAX_RESULTS:
+                try:
+                    verify_result(graph, got)
+                except VerificationError as exc:
+                    return OracleFailure("agreement", spec.label(), str(exc))
+            if got != truth:
+                return OracleFailure(
+                    "agreement", spec.label(),
+                    f"disagrees with {ref_spec.label()}: {_diff(got, truth)}",
+                )
+            if result.count != len(truth):
+                return OracleFailure(
+                    "agreement", spec.label(),
+                    f"count {result.count} != {len(truth)} collected",
+                )
+        return None
+
+    return check
+
+
+def relabel_oracle(engine: EngineSpec, seed: int = 0) -> Oracle:
+    """Vertex-relabeling equivariance under a seeded permutation."""
+
+    def check(graph: BipartiteGraph) -> OracleFailure | None:
+        rng = random.Random(seed)
+        pu = list(range(graph.n_u))
+        pv = list(range(graph.n_v))
+        rng.shuffle(pu)
+        rng.shuffle(pv)
+        permuted = BipartiteGraph(
+            [(pu[u], pv[v]) for u, v in graph.edges()],
+            n_u=graph.n_u, n_v=graph.n_v,
+        )
+        inv_u = {new: old for old, new in enumerate(pu)}
+        inv_v = {new: old for old, new in enumerate(pv)}
+        base = engine.result_set(graph)
+        mapped = frozenset(
+            Biclique.make(
+                (inv_u[u] for u in b.left), (inv_v[v] for v in b.right)
+            )
+            for b in engine.result_set(permuted)
+        )
+        if mapped != base:
+            return OracleFailure(
+                "relabel", engine.label(),
+                f"relabeled run diverges: {_diff(mapped, base)}",
+            )
+        return None
+
+    return check
+
+
+def swap_oracle(engine: EngineSpec) -> Oracle:
+    """U/V-swap symmetry (and the ``orient_smaller_v`` code path with it)."""
+
+    def check(graph: BipartiteGraph) -> OracleFailure | None:
+        base = engine.result_set(graph)
+        # thresholds live in graph coordinates, so they swap with the sides
+        opts = engine.opts()
+        swapped_spec = engine
+        if "min_left" in opts or "min_right" in opts:
+            swapped_spec = engine.with_options(
+                min_left=opts.get("min_right", 1),
+                min_right=opts.get("min_left", 1),
+            )
+        swapped = frozenset(
+            b.swap() for b in swapped_spec.result_set(graph.swap_sides())
+        )
+        if swapped != base:
+            return OracleFailure(
+                "swap", engine.label(),
+                f"side-swapped run diverges: {_diff(swapped, base)}",
+            )
+        oriented = engine.with_options(orient_smaller_v=True)
+        got = oriented.result_set(graph)
+        if got != base:
+            return OracleFailure(
+                "swap", oriented.label(),
+                f"orient_smaller_v run diverges: {_diff(got, base)}",
+            )
+        return None
+
+    return check
+
+
+def threshold_oracle(
+    engine: EngineSpec, min_left: int = 2, min_right: int = 2
+) -> Oracle:
+    """Constrained result set == filtered unconstrained result set."""
+
+    def check(graph: BipartiteGraph) -> OracleFailure | None:
+        full = engine.result_set(graph)
+        want = frozenset(
+            b for b in full
+            if len(b.left) >= min_left and len(b.right) >= min_right
+        )
+        constrained = engine.with_options(
+            min_left=min_left, min_right=min_right
+        )
+        got = constrained.result_set(graph)
+        if got != want:
+            return OracleFailure(
+                "threshold", constrained.label(),
+                f"(>= {min_left}, >= {min_right}) set != filtered "
+                f"unconstrained set: {_diff(got, want)}",
+            )
+        return None
+
+    return check
+
+
+def budget_prefix_oracle(engine: EngineSpec, cap: int = 3) -> Oracle:
+    """A ``max_bicliques``-capped run is a sound prefix of the full run."""
+
+    def check(graph: BipartiteGraph) -> OracleFailure | None:
+        full = engine.result_set(graph)
+        partial = engine.run(
+            graph, collect=True, budget=RunBudget(max_bicliques=cap)
+        )
+        got_list = partial.bicliques or []
+        got = frozenset(got_list)
+        if len(got) != len(got_list):
+            return OracleFailure(
+                "budget_prefix", engine.label(),
+                f"capped run returned duplicates ({len(got_list)} results, "
+                f"{len(got)} distinct)",
+            )
+        if not got <= full:
+            return OracleFailure(
+                "budget_prefix", engine.label(),
+                f"capped run returned bicliques outside the full set "
+                f"(e.g. {sorted(got - full)[:2]})",
+            )
+        if partial.count != len(got_list):
+            return OracleFailure(
+                "budget_prefix", engine.label(),
+                f"count {partial.count} != {len(got_list)} collected",
+            )
+        if partial.count > cap:
+            return OracleFailure(
+                "budget_prefix", engine.label(),
+                f"cap {cap} overshot: {partial.count} results",
+            )
+        if partial.complete and got != full:
+            return OracleFailure(
+                "budget_prefix", engine.label(),
+                "run flagged complete but missed results: "
+                + _diff(got, full),
+            )
+        if not partial.complete and partial.count < min(cap, len(full)):
+            return OracleFailure(
+                "budget_prefix", engine.label(),
+                f"incomplete run undershot the cap: {partial.count} < "
+                f"min({cap}, {len(full)})",
+            )
+        return None
+
+    return check
+
+
+def kill_resume_oracle(
+    workers: int = 1,
+    bound_height: int = 1,
+    bound_size: int = 4,
+) -> Oracle:
+    """Kill a checkpointed parallel run partway, resume, expect parity.
+
+    A :class:`FaultPlan` permanently crashes the first root's tasks, so
+    the first run ends incomplete with its surviving tasks checkpointed;
+    the resumed run must reconcile the recorded root slices and match an
+    uninterrupted ``mbet`` run exactly (set and count).
+    """
+
+    def check(graph: BipartiteGraph) -> OracleFailure | None:
+        truth = run_mbe(graph, "mbet").biclique_set()
+        victim = next(
+            (v for v in range(graph.n_v) if graph.degree_v(v) > 0), None
+        )
+        common = dict(
+            workers=workers, bound_height=bound_height, bound_size=bound_size
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "fuzz.ckpt")
+            if victim is not None:
+                # first run: the victim root's tasks crash permanently, so
+                # the run ends incomplete with surviving tasks checkpointed
+                # (if the victim subtree was containment-pruned the run
+                # completes; resume is then a pure checkpoint-skip replay)
+                run_mbe(
+                    graph, "parallel", checkpoint=path,
+                    faults=FaultPlan(
+                        crash_tasks=(victim,), crash_attempts=99
+                    ),
+                    max_retries=1, retry_backoff=0.0, **common,
+                )
+            second = run_mbe(
+                graph, "parallel", checkpoint=path, **common
+            )
+        if not second.complete:
+            return OracleFailure(
+                "kill_resume", "parallel",
+                f"resumed run still incomplete: {second.meta}",
+            )
+        got = second.biclique_set()
+        if got != truth:
+            return OracleFailure(
+                "kill_resume", "parallel",
+                f"resumed run diverges from mbet: {_diff(got, truth)}",
+            )
+        if second.count != len(truth):
+            return OracleFailure(
+                "kill_resume", "parallel",
+                f"resumed count {second.count} != {len(truth)}",
+            )
+        return None
+
+    return check

@@ -1,0 +1,112 @@
+"""Counterexample artifacts: JSON repro records and pytest regression cases.
+
+Every failure the harness shrinks becomes a :class:`Counterexample` — the
+original case recipe, the minimized explicit graph, the violated oracle —
+serialized two ways:
+
+* a JSON file that :func:`Counterexample.from_json` replays exactly, and
+* a paste-able pytest case re-checking the offending engine against brute
+  force on the shrunken graph (see ``docs/testing.md`` for turning one
+  into a permanent regression test).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.check.cases import GraphCase
+from repro.core.base import ALGORITHMS
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A shrunken failing input plus what failed on it."""
+
+    oracle: str
+    engine: str
+    detail: str
+    case: GraphCase      # the original (pre-shrink) case recipe
+    shrunk: GraphCase    # explicit minimized graph
+    seed: int            # harness seed that produced the case
+
+    @property
+    def n_vertices(self) -> int:
+        p = self.shrunk.opts()
+        return p["n_u"] + p["n_v"]
+
+    def graph(self) -> BipartiteGraph:
+        return self.shrunk.build()
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "oracle": self.oracle,
+            "engine": self.engine,
+            "detail": self.detail,
+            "seed": self.seed,
+            "case": self.case.as_json(),
+            "shrunk": self.shrunk.as_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Counterexample":
+        return cls(
+            oracle=data["oracle"],
+            engine=data["engine"],
+            detail=data["detail"],
+            seed=data["seed"],
+            case=GraphCase.from_json(data["case"]),
+            shrunk=GraphCase.from_json(data["shrunk"]),
+        )
+
+    def to_pytest(self) -> str:
+        """Render a paste-able regression test for this counterexample."""
+        p = self.shrunk.opts()
+        edges = ", ".join(f"({u}, {v})" for u, v in p["edges"])
+        # the engine label may carry options ("mbet[use_trie=False]");
+        # regression tests re-check the bare engine, which suffices for
+        # every oracle because the shrunken failure is definitional or
+        # cross-engine at heart.  Self-test labels name an unregistered
+        # engine — re-check its registered base instead.
+        engine = self.engine.split("[", 1)[0]
+        if engine not in ALGORITHMS:
+            engine = "mbet"
+        safe = "".join(c if c.isalnum() else "_" for c in f"{engine}_{self.oracle}")
+        return (
+            f"def test_fuzz_regression_{safe}_{self.seed}():\n"
+            f'    """Shrunken `repro fuzz` counterexample (seed {self.seed}).\n'
+            f"\n"
+            f"    Violated oracle: {self.oracle} on {self.engine}\n"
+            f"    {self.detail}\n"
+            f'    """\n'
+            f"    from repro import BipartiteGraph, run_mbe\n"
+            f"    from repro.core.verify import verify_result\n"
+            f"\n"
+            f"    g = BipartiteGraph([{edges}], "
+            f"n_u={p['n_u']}, n_v={p['n_v']})\n"
+            f'    truth = run_mbe(g, "bruteforce").biclique_set()\n'
+            f"    verify_result(g, truth, expected=truth)\n"
+            f'    result = run_mbe(g, "{engine}")\n'
+            f"    assert result.biclique_set() == truth\n"
+            f"    assert result.count == len(truth)\n"
+        )
+
+
+def write_counterexample(
+    cx: Counterexample, directory: str | os.PathLike[str]
+) -> tuple[str, str]:
+    """Write ``<stem>.json`` and ``<stem>_test.py`` artifacts; return paths."""
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    stem = f"counterexample_{cx.oracle}_{cx.seed}"
+    json_path = os.path.join(directory, f"{stem}.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(cx.as_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    py_path = os.path.join(directory, f"{stem}_test.py")
+    with open(py_path, "w", encoding="utf-8") as handle:
+        handle.write(cx.to_pytest())
+    return json_path, py_path

@@ -4,6 +4,8 @@ Subcommands
 -----------
 ``run``          enumerate maximal bicliques of a zoo dataset or edge list
 ``profile``      run one algorithm and print its phase/prune breakdown
+``fuzz``         differential/metamorphic fuzzing of the engines
+                 (docs/testing.md); nonzero exit on counterexample
 ``analyze``      enumerate + summarize (histogram, top-k, busiest vertices)
 ``max``          branch-and-bound search for one maximum biclique
 ``verify``       audit a saved biclique file against its graph
@@ -203,6 +205,96 @@ def _share(part: int, whole: int, caption: str) -> str:
     if whole <= 0:
         return caption
     return f"{100 * part / whole:.1f}% {caption}"
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing over random graphs and the dataset zoo."""
+    import json
+
+    from repro.check import FuzzConfig, run_fuzz, write_counterexample
+    from repro.check.engines import DEFAULT_ENGINE_NAMES
+    from repro.check.harness import ALL_ORACLES
+
+    engines = (
+        tuple(args.engines.split(",")) if args.engines
+        else DEFAULT_ENGINE_NAMES
+    )
+    unknown = set(engines) - set(available_algorithms())
+    if unknown:
+        print(f"error: unknown engines: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    oracles = tuple(args.oracles.split(",")) if args.oracles else ALL_ORACLES
+    if args.zoo:
+        dataset_keys = tuple(datasets.names())
+    else:
+        dataset_keys = tuple(args.datasets.split(",")) if args.datasets else ()
+    config = FuzzConfig(
+        seed=args.seed,
+        time_budget=args.time,
+        max_cases=args.cases,
+        engines=engines,
+        oracles=oracles,
+        datasets=dataset_keys,
+        max_side=args.max_side,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+        broken_engine=args.self_test,
+    )
+    if config.time_budget is None and config.max_cases is None:
+        config.max_cases = 50
+    try:
+        config.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    sink = None
+    handle = None
+    if args.report:
+        handle = open(args.report, "w", encoding="utf-8")
+
+        def sink(record: dict) -> None:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.flush()
+
+    try:
+        report = run_fuzz(
+            config, on_case=sink,
+            echo=lambda line: print(line, file=sys.stderr),
+        )
+    finally:
+        if handle is not None:
+            handle.close()
+            print(f"wrote JSONL report to {args.report}", file=sys.stderr)
+
+    for cx in report.failures:
+        print(f"FAIL {cx.oracle}[{cx.engine}]: {cx.detail}")
+        if args.artifacts:
+            json_path, py_path = write_counterexample(cx, args.artifacts)
+            print(f"  repro: {json_path}")
+            print(f"  pytest case: {py_path}")
+    print(
+        f"fuzz: {report.cases} cases, "
+        f"{sum(report.oracle_runs.values())} oracle runs "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(report.oracle_runs.items()))}), "
+        f"{len(report.failures)} counterexamples in {report.elapsed:.1f}s "
+        f"({report.stopped})"
+    )
+    if args.self_test:
+        caught = [
+            cx for cx in report.failures
+            if "broken_mbet" in cx.engine and cx.n_vertices <= 8
+        ]
+        if caught:
+            print(
+                f"self-test OK: broken engine caught and shrunk to "
+                f"{caught[0].n_vertices} vertices"
+            )
+            return 0
+        print("self-test FAILED: broken engine not caught (or not shrunk "
+              "to <= 8 vertices)")
+        return 1
+    return 0 if report.ok else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -466,10 +558,45 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential/metamorphic fuzzing of the enumeration engines",
+    )
+    p_fuzz.add_argument("--time", type=float, default=None,
+                        help="wall-clock budget in seconds")
+    p_fuzz.add_argument("--cases", type=int, default=None,
+                        help="number of random cases (default 50 when no "
+                             "--time is given)")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--engines", default=None,
+                        help="comma-separated engine names (default: all)")
+    p_fuzz.add_argument("--oracles", default=None,
+                        help="comma-separated oracle names (default: all)")
+    p_fuzz.add_argument("--datasets", default=None,
+                        help="comma-separated zoo keys to fuzz up front")
+    p_fuzz.add_argument("--zoo", action="store_true",
+                        help="include every zoo dataset as a case")
+    p_fuzz.add_argument("--max-side", type=int, default=12,
+                        help="random-case side-size bound")
+    p_fuzz.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many counterexamples")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip counterexample minimization")
+    p_fuzz.add_argument("--report", default=None,
+                        help="write per-case records and a summary as JSONL")
+    p_fuzz.add_argument("--artifacts", default=None,
+                        help="directory for counterexample JSON + pytest "
+                             "artifacts")
+    p_fuzz.add_argument("--self-test", action="store_true",
+                        help="inject a deliberately-broken engine; exit 0 "
+                             "iff the harness catches and shrinks it")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
+
     p_an = sub.add_parser("analyze", help="enumerate and summarize bicliques")
     add_graph_source(p_an)
     p_an.add_argument("--algorithm", "-a", default="mbet",
-                      choices=["mbet", "mbet_iter", "mbetm"],
+                      choices=["mbet", "mbet_iter", "mbet_vec", "mbetm",
+                               "parallel"],
                       help="size-constraint-capable algorithms only")
     p_an.add_argument("--min-left", type=int, default=1)
     p_an.add_argument("--min-right", type=int, default=1)

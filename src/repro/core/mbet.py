@@ -227,6 +227,15 @@ class MBET(MBEAlgorithm):
             groups.sort(key=lambda g: (g[0].bit_count(), g[0]))
         return groups
 
+    def _make_store(self):
+        """Build the traversed-set store for one subproblem.
+
+        Overridable seam: the fuzzing harness's deliberately-broken engine
+        (``repro.check.selftest``) wraps the store to disable maximality
+        checking, proving the differential oracles catch real bugs.
+        """
+        return _TrieQ(self.trie_max_nodes) if self.use_trie else _ListQ()
+
     def _run_subproblem(
         self,
         sub: Subproblem,
@@ -234,7 +243,7 @@ class MBET(MBEAlgorithm):
         stats: EnumerationStats,
     ) -> None:
         space = sub.space
-        store = _TrieQ(self.trie_max_nodes) if self.use_trie else _ListQ()
+        store = self._make_store()
         for sig in sub.traversed:
             store.insert(sig)
 

@@ -35,6 +35,34 @@ from repro.core.mbet import MBET, _ListQ, _TrieQ
 
 _WORD = 64
 
+#: bits set in each byte value, for the pre-numpy-2.0 popcount fallback
+_POPCOUNT8 = np.unpackbits(
+    np.arange(256, dtype=np.uint8).reshape(256, 1), axis=1
+).sum(axis=1, dtype=np.uint16)
+
+
+def _popcount_rows_native(matrix: np.ndarray) -> np.ndarray:
+    """Per-row popcount via ``np.bitwise_count`` (numpy >= 2.0)."""
+    return np.bitwise_count(matrix).sum(axis=1)
+
+
+def _popcount_rows_table(matrix: np.ndarray) -> np.ndarray:
+    """Per-row popcount via a byte lookup table (any numpy).
+
+    A ``(n, words)`` uint64 matrix viewed as uint8 is ``(n, 8 * words)``;
+    summing the per-byte table over axis 1 is the row popcount.
+    """
+    bytes_view = np.ascontiguousarray(matrix).view(np.uint8)
+    return _POPCOUNT8[bytes_view].sum(axis=1)
+
+
+# ``np.bitwise_count`` only exists from numpy 2.0; pyproject declares
+# ``numpy>=1.22``, so the portable table fallback is selected at import.
+if hasattr(np, "bitwise_count"):
+    _popcount_rows = _popcount_rows_native
+else:  # pragma: no cover - exercised by the oldest-numpy CI leg
+    _popcount_rows = _popcount_rows_table
+
 
 def _masks_to_matrix(masks: Sequence[int], words: int) -> np.ndarray:
     """Pack Python-int masks into a (len(masks), words) uint64 matrix."""
@@ -64,7 +92,7 @@ class MBETVectorized(MBET):
         stats: EnumerationStats,
     ) -> None:
         space = sub.space
-        store = _TrieQ(self.trie_max_nodes) if self.use_trie else _ListQ()
+        store = self._make_store()
         for sig in sub.traversed:
             store.insert(sig)
 
@@ -114,7 +142,7 @@ class MBETVectorized(MBET):
                     merged[int(dst)] = merged[int(dst)] + verts[src]
                 matrix, verts = unique, merged
         if self.use_sort and len(verts) > 1:
-            popcounts = np.bitwise_count(matrix).sum(axis=1)
+            popcounts = _popcount_rows(matrix)
             order = np.argsort(popcounts, kind="stable")
             matrix = matrix[order]
             verts = [verts[int(i)] for i in order]

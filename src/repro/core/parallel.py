@@ -228,8 +228,10 @@ def _run_root_slice(algo: MBET, sub, part: int, n_parts: int, report, stats) -> 
     n = len(groups)
     lo = part * n // n_parts
     hi = (part + 1) * n // n_parts
-    if part == 0:
-        # exactly one slice reports the subtree's root biclique
+    if part == 0 and len(sub.right) >= algo.min_right:
+        # exactly one slice reports the subtree's root biclique; the
+        # min_right gate mirrors MBET._run_subproblem (min_left is already
+        # enforced by _accept_subproblem on the whole subtree)
         report(space.universe, sub.right)
     if lo >= hi:
         return
@@ -267,12 +269,16 @@ class ParallelMBE(MBEAlgorithm):
         task_timeout: float | None = None,
         checkpoint: str | os.PathLike[str] | None = None,
         faults: FaultPlan | None = None,
+        min_left: int = 1,
+        min_right: int = 1,
     ):
         super().__init__(orient_smaller_v=orient_smaller_v)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if bound_height < 1 or bound_size < 1:
             raise ValueError("split bounds must be positive")
+        if min_left < 1 or min_right < 1:
+            raise ValueError("size thresholds must be >= 1")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff < 0:
@@ -289,6 +295,8 @@ class ParallelMBE(MBEAlgorithm):
         self.task_timeout = task_timeout
         self.checkpoint = checkpoint
         self.faults = faults
+        self.min_left = min_left
+        self.min_right = min_right
 
     # The framework hook is unused: run() is overridden wholesale because
     # results arrive from workers, not from an in-process tree walk.
@@ -354,6 +362,8 @@ class ParallelMBE(MBEAlgorithm):
             "bound_size": self.bound_size,
             "workers": self.workers,
             "orient_smaller_v": self.orient_smaller_v,
+            "min_left": self.min_left,
+            "min_right": self.min_right,
             "collect": collect,
         }
 
@@ -389,7 +399,12 @@ class ParallelMBE(MBEAlgorithm):
         work_graph, swapped = (
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
-        algo_options = {"order": self.order, "seed": self.seed}
+        algo_options = {
+            "order": self.order,
+            "seed": self.seed,
+            "min_left": self.min_left,
+            "min_right": self.min_right,
+        }
         with instr.phase("decompose"):
             rank = rank_of(vertex_order(work_graph, self.order, seed=self.seed))
             all_tasks = self._make_tasks(work_graph)

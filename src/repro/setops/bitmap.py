@@ -58,22 +58,34 @@ class Bitmap:
             bits ^= low
 
     def __and__(self, other: "Bitmap") -> "Bitmap":
+        if not isinstance(other, Bitmap):
+            return NotImplemented
         return Bitmap(bits=self._bits & other._bits)
 
     def __or__(self, other: "Bitmap") -> "Bitmap":
+        if not isinstance(other, Bitmap):
+            return NotImplemented
         return Bitmap(bits=self._bits | other._bits)
 
     def __sub__(self, other: "Bitmap") -> "Bitmap":
+        if not isinstance(other, Bitmap):
+            return NotImplemented
         return Bitmap(bits=self._bits & ~other._bits)
 
     def __xor__(self, other: "Bitmap") -> "Bitmap":
+        if not isinstance(other, Bitmap):
+            return NotImplemented
         return Bitmap(bits=self._bits ^ other._bits)
 
     def __le__(self, other: "Bitmap") -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
         return self._bits & other._bits == self._bits
 
     def __lt__(self, other: "Bitmap") -> bool:
-        return self._bits != other._bits and self <= other
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self._bits != other._bits and self._bits & other._bits == self._bits
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Bitmap) and self._bits == other._bits

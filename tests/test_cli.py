@@ -238,3 +238,52 @@ class TestOtherCommands:
         text = md.read_text()
         assert text.startswith("### R-T1")
         assert "| key |" in text
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(
+            ["fuzz", "--cases", "4", "--seed", "1", "--max-side", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 cases" in out
+        assert "0 counterexamples" in out
+
+    def test_unknown_engine_exits_two(self, capsys):
+        assert main(["fuzz", "--cases", "1", "--engines", "nope"]) == 2
+        assert "unknown engines" in capsys.readouterr().err
+
+    def test_report_is_jsonl(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "fuzz.jsonl"
+        assert main(
+            ["fuzz", "--cases", "3", "--seed", "2", "--max-side", "5",
+             "--report", str(report)]
+        ) == 0
+        lines = report.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 4  # 3 cases + summary
+        assert [r["type"] for r in records] == ["case"] * 3 + ["summary"]
+        assert records[-1]["ok"] is True
+
+    def test_self_test_catches_broken_engine(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        assert main(
+            ["fuzz", "--cases", "40", "--seed", "2", "--max-side", "6",
+             "--self-test", "--max-failures", "1",
+             "--artifacts", str(artifacts)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "self-test OK" in out
+        assert "FAIL agreement" in out
+        written = sorted(p.name for p in artifacts.iterdir())
+        assert any(n.endswith(".json") for n in written)
+        assert any(n.endswith("_test.py") for n in written)
+
+    def test_dataset_run(self, capsys):
+        assert main(
+            ["fuzz", "--cases", "0", "--datasets", "mti",
+             "--engines", "mbet,mbet_vec", "--seed", "0"]
+        ) == 0
+        assert "1 cases" in capsys.readouterr().out

@@ -86,15 +86,37 @@ class TestPruningIsSound:
 
 class TestParallelConstrained:
     def test_root_slices_respect_thresholds(self, g0):
-        # The parallel driver shares MBET's search; constrained options
-        # must flow through worker construction.
+        # Constrained options flow through worker construction: a
+        # constrained parallel run matches the constrained serial run.
+        for min_left, min_right in [(2, 1), (1, 2), (2, 2), (3, 2)]:
+            want = run_mbe(
+                g0, "mbet", min_left=min_left, min_right=min_right
+            ).biclique_set()
+            got = run_mbe(
+                g0, "parallel", workers=1,
+                min_left=min_left, min_right=min_right,
+            )
+            assert got.biclique_set() == want
+            assert got.count == len(want)
+
+    def test_thresholds_with_forced_slicing(self, g0):
+        # bound_height/bound_size force per-root slicing; the min_right
+        # gate in _run_root_slice must not double- or zero-report roots
+        want = run_mbe(g0, "mbet", min_left=2, min_right=2).biclique_set()
+        got = run_mbe(
+            g0, "parallel", workers=1, bound_height=1, bound_size=1,
+            min_left=2, min_right=2,
+        )
+        assert got.biclique_set() == want
+        assert got.count == len(want)
+
+    def test_default_remains_unconstrained(self, g0):
+        assert run_mbe(g0, "parallel", workers=1).count == 6
+
+    def test_invalid_thresholds_rejected(self):
         from repro.core.parallel import ParallelMBE
 
-        algo = ParallelMBE(workers=1)
-        algo_serial = run_mbe(g0, "mbet", min_left=2).biclique_set()
-        # parallel driver passes order/seed only; constrained parallel runs
-        # go through the serial engine — assert the serial path works and
-        # the parallel default remains unconstrained.
-        assert run_mbe(g0, "parallel", workers=1).count == 6
-        assert len(algo_serial) == 5
-        assert algo.workers == 1
+        with pytest.raises(ValueError, match="thresholds"):
+            ParallelMBE(min_left=0)
+        with pytest.raises(ValueError, match="thresholds"):
+            ParallelMBE(min_right=-1)

@@ -8,7 +8,13 @@ import numpy as np
 import pytest
 
 from repro import run_mbe
-from repro.core.mbet_vec import _masks_to_matrix, _row_to_int
+from repro.core.mbet_vec import (
+    _masks_to_matrix,
+    _popcount_rows,
+    _popcount_rows_native,
+    _popcount_rows_table,
+    _row_to_int,
+)
 from tests.conftest import G0_MAXIMAL, random_bigraph
 
 
@@ -27,8 +33,19 @@ class TestPacking:
     def test_popcount_matches(self):
         masks = [(1 << 70) | 0b111, 0]
         matrix = _masks_to_matrix(masks, words=2)
-        counts = np.bitwise_count(matrix).sum(axis=1)
+        counts = _popcount_rows(matrix)
         assert list(counts) == [4, 0]
+
+    def test_popcount_fallback_matches_native(self):
+        # the table-based fallback (selected on numpy < 2.0) must agree
+        # with int.bit_count — and with np.bitwise_count where available
+        rng = random.Random(0)
+        masks = [rng.getrandbits(192) for _ in range(64)] + [0, (1 << 192) - 1]
+        matrix = _masks_to_matrix(masks, words=3)
+        want = [m.bit_count() for m in masks]
+        assert list(_popcount_rows_table(matrix)) == want
+        if hasattr(np, "bitwise_count"):
+            assert list(_popcount_rows_native(matrix)) == want
 
 
 class TestVectorizedEngine:

@@ -247,6 +247,35 @@ class TestCheckpointResume:
         with pytest.raises(CheckpointError, match="different run"):
             run_mbe(g0, "parallel", workers=1, seed=7, checkpoint=path)
 
+    def test_threshold_change_invalidates_checkpoint(self, g0, tmp_path):
+        # min_left/min_right are part of the run's identity: resuming an
+        # unconstrained checkpoint under thresholds would silently keep
+        # the unconstrained results
+        from repro.runtime import CheckpointError
+
+        path = tmp_path / "g0.ckpt"
+        run_mbe(g0, "parallel", workers=1, checkpoint=path)
+        with pytest.raises(CheckpointError, match="min_left"):
+            run_mbe(g0, "parallel", workers=1, min_left=2, checkpoint=path)
+
+    def test_constrained_resume_matches_serial(self, g0, tmp_path):
+        path = tmp_path / "g0.ckpt"
+        faults, _victim = _crash_plan(g0, crash_attempts=99)
+        first = run_mbe(
+            g0, "parallel", workers=1, min_left=2, min_right=2,
+            faults=faults, max_retries=1, retry_backoff=0.01,
+            checkpoint=path,
+        )
+        assert first.complete is False
+        second = run_mbe(
+            g0, "parallel", workers=1, min_left=2, min_right=2,
+            checkpoint=path,
+        )
+        truth = run_mbe(g0, "mbet", min_left=2, min_right=2).biclique_set()
+        assert second.complete is True
+        assert second.biclique_set() == truth
+        assert second.count == len(truth)
+
     def test_checkpoint_survives_torn_tail(self, g0, tmp_path):
         path = tmp_path / "g0.ckpt"
         run_mbe(g0, "parallel", workers=1, checkpoint=path)

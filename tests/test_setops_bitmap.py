@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import operator
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -64,6 +66,22 @@ class TestBitmapAlgebra:
 
     def test_hashable(self):
         assert len({Bitmap([1, 2]), Bitmap([2, 1]), Bitmap([3])}) == 2
+
+    def test_foreign_operands_raise_type_error(self):
+        # operators return NotImplemented on non-Bitmap operands instead
+        # of silently reading a missing ._bits
+        b = Bitmap([1, 2])
+        for op in [operator.and_, operator.or_, operator.sub, operator.xor]:
+            with pytest.raises(TypeError):
+                op(b, {1, 2})
+        with pytest.raises(TypeError):
+            b <= frozenset({1})
+        with pytest.raises(TypeError):
+            b < [1, 2]
+
+    def test_equality_with_foreign_types_is_false(self):
+        assert Bitmap([1]) != {1}
+        assert not (Bitmap([1]) == {1})
 
     def test_to_list_and_repr(self):
         b = Bitmap([9, 2])
