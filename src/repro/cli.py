@@ -3,6 +3,7 @@
 Subcommands
 -----------
 ``run``          enumerate maximal bicliques of a zoo dataset or edge list
+``serve``        run the embedded enumeration service (docs/serving.md)
 ``profile``      run one algorithm and print its phase/prune breakdown
 ``fuzz``         differential/metamorphic fuzzing of the engines
                  (docs/testing.md); nonzero exit on counterexample
@@ -33,7 +34,11 @@ from repro.bench.tables import format_table, markdown_table
 from repro.bigraph.io import GraphFormatError, read_edge_list
 from repro.bigraph.stats import compute_stats
 from repro.core.base import available_algorithms, run_mbe
+from repro.runtime.budget import RunBudget
 from repro.runtime.checkpoint import CheckpointError
+
+#: exit code for a run cut short by SIGINT/SIGTERM (shell convention)
+EXIT_INTERRUPTED = 130
 
 
 def _load_graph(args: argparse.Namespace):
@@ -71,7 +76,47 @@ def _write_obs_outputs(instr, args: argparse.Namespace) -> None:
               file=sys.stderr)
 
 
+def _install_cancel_handlers(event) -> dict | None:
+    """Route SIGINT/SIGTERM into a cooperative cancel event.
+
+    Returns the previous handlers (for restoration), or None when signal
+    handling is unavailable (non-main thread, e.g. under some test
+    runners) — callers then simply run without graceful interruption.
+    """
+    import signal
+
+    def _flip(signum, _frame):
+        if event.is_set():
+            # second signal: the user really means it
+            raise KeyboardInterrupt
+        event.set()
+        print(
+            f"interrupted (signal {signum}) — stopping at the next budget "
+            f"check, partial results follow",
+            file=sys.stderr,
+        )
+
+    previous = {}
+    try:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, _flip)
+    except ValueError:
+        return None
+    return previous
+
+
+def _restore_handlers(previous: dict | None) -> None:
+    if previous is None:
+        return
+    import signal
+
+    for sig, old in previous.items():
+        signal.signal(sig, old)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import threading
+
     instr = _make_instrumentation(args)
     graph, name = _load_graph(args)
     collect = args.output is not None
@@ -82,18 +127,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         options["checkpoint"] = args.checkpoint
-    result = run_mbe(
-        graph,
-        algorithm=args.algorithm,
-        collect=collect,
-        max_bicliques=args.max_bicliques,
-        time_limit=args.time_limit,
-        node_limit=args.max_nodes,
-        instrumentation=instr,
-        **options,
-    )
+    cancel_event = threading.Event()
+    previous_handlers = _install_cancel_handlers(cancel_event)
+    budget = None
+    if (
+        previous_handlers is not None
+        or args.max_bicliques is not None
+        or args.time_limit is not None
+        or args.max_nodes is not None
+    ):
+        budget = RunBudget(
+            time_limit=args.time_limit,
+            max_bicliques=args.max_bicliques,
+            max_nodes=args.max_nodes,
+            cancel=cancel_event.is_set,
+        )
+    try:
+        result = run_mbe(
+            graph,
+            algorithm=args.algorithm,
+            collect=collect,
+            budget=budget,
+            instrumentation=instr,
+            **options,
+        )
+    finally:
+        _restore_handlers(previous_handlers)
+    cancelled = result.meta.get("stopped") == "cancelled"
     if result.complete:
         status = "complete"
+    elif cancelled:
+        status = "partial: interrupted"
     else:
         status = f"partial: {result.meta.get('stopped', 'task failures')}"
     # one-line summary on stderr, so a run whose stdout is redirected (or
@@ -122,10 +186,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.core.io_results import write_bicliques
 
         written = write_bicliques(result.bicliques or (), args.output)
-        print(f"wrote {written:,} bicliques to {args.output}")
+        qualifier = "partial " if not result.complete else ""
+        print(f"wrote {written:,} {qualifier}bicliques to {args.output}")
     if instr is not None:
         _write_obs_outputs(instr, args)
+    if cancelled:
+        if args.checkpoint is not None:
+            print(f"checkpoint flushed to {args.checkpoint}; rerun with the "
+                  f"same --checkpoint to resume", file=sys.stderr)
+        return EXIT_INTERRUPTED
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the embedded enumeration service until SIGTERM/SIGINT."""
+    from repro.serve import ServiceConfig, run_server
+
+    mb = 1024 * 1024
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        max_cost=args.max_cost,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        soft_limit_bytes=(
+            args.soft_limit_mb * mb if args.soft_limit_mb else None
+        ),
+        hard_limit_bytes=(
+            args.hard_limit_mb * mb if args.hard_limit_mb else None
+        ),
+        max_in_ram=args.max_in_ram,
+        default_time_limit=args.default_time_limit,
+        drain_timeout=args.drain_timeout,
+        allow_faults=args.allow_faults,
+    )
+    return run_server(config, host=args.host, port=args.port)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -543,6 +639,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write bicliques as 'u1,u2\\tv1,v2' lines")
     add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the embedded enumeration service (docs/serving.md)",
+    )
+    p_srv.add_argument("--state-dir", required=True,
+                       help="directory for the job journal, checkpoints "
+                            "and result spools (restart against the same "
+                            "directory to resume in-flight jobs)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="0 = ephemeral; the bound port is written to "
+                            "<state-dir>/serve.port")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="concurrent job worker threads")
+    p_srv.add_argument("--queue-depth", type=int, default=16,
+                       help="queued-job limit; fuller submits get HTTP 429")
+    p_srv.add_argument("--max-cost", type=int, default=None,
+                       help="admission ceiling on |E|*max(D2) (HTTP 413 "
+                            "above it); default: unbounded")
+    p_srv.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive engine failures that trip its "
+                            "circuit breaker")
+    p_srv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       help="seconds an open breaker refuses an engine")
+    p_srv.add_argument("--soft-limit-mb", type=int, default=None,
+                       help="RSS megabytes at which collecting jobs spool "
+                            "results to disk")
+    p_srv.add_argument("--hard-limit-mb", type=int, default=None,
+                       help="RSS megabytes at which spooling degrades to "
+                            "count-only")
+    p_srv.add_argument("--max-in-ram", type=int, default=200_000,
+                       help="bicliques held in RAM before spooling")
+    p_srv.add_argument("--default-time-limit", type=float, default=None,
+                       help="budget for jobs that set no time_limit")
+    p_srv.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to let running jobs finish on "
+                            "SIGTERM before cancelling them")
+    p_srv.add_argument("--allow-faults", action="store_true",
+                       help="honour fault-injection specs in jobs "
+                            "(chaos testing only)")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_prof = sub.add_parser(
         "profile",

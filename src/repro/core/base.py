@@ -249,6 +249,36 @@ class _GuardedInstrumentedSink(_GuardedSink):
         self.instr.on_report(self.count, self.stats)
 
 
+class _HookSink(_Sink):
+    """Reporter that hands each canonical biclique to a caller-owned hook.
+
+    The hook owns storage (``MBEResult.bicliques`` stays ``None``), which
+    is what lets the serving layer degrade from in-RAM collection to
+    spooling to count-only *mid-run*.  This path tolerates per-result
+    branches on the guard/instrumentation, so one class covers the whole
+    budgeted × instrumented matrix.
+    """
+
+    __slots__ = ("hook", "guard", "instr", "stats")
+
+    def __init__(self, swapped: bool, hook: Callable[["Biclique"], None],
+                 guard, instr, stats: "EnumerationStats"):
+        super().__init__(False, swapped)
+        self.hook = hook
+        self.guard = guard
+        self.instr = instr
+        self.stats = stats
+
+    def __call__(self, left: Iterable[int], right: Iterable[int]) -> None:
+        self.count += 1
+        b = Biclique.make(left, right)
+        self.hook(b.swap() if self.swapped else b)
+        if self.guard is not NULL_GUARD:
+            self.guard.on_report(self.count)
+        if self.instr.enabled:
+            self.instr.on_report(self.count, self.stats)
+
+
 class MBEAlgorithm(ABC):
     """Base class: subclasses implement :meth:`_enumerate` only.
 
@@ -293,6 +323,7 @@ class MBEAlgorithm(ABC):
         limits: EnumerationLimits | None = None,
         budget: RunBudget | None = None,
         instrumentation: Instrumentation | None = None,
+        on_biclique: Callable[[Biclique], None] | None = None,
     ) -> MBEResult:
         """Enumerate all maximal bicliques of ``graph``.
 
@@ -310,6 +341,13 @@ class MBEAlgorithm(ABC):
         progress heartbeats fire from the reporting path.  Without it the
         run carries :data:`NULL_INSTRUMENTATION` and performs zero
         instrumentation clock reads.
+
+        ``on_biclique``, when given, receives every maximal biclique as a
+        canonical :class:`Biclique` the moment it is reported, and the
+        caller owns storage: ``MBEResult.bicliques`` is ``None`` and
+        ``collect`` is ignored.  This is the streaming seam the serving
+        layer's memory watchdog uses to swap collection strategies
+        mid-run (``docs/serving.md``).
         """
         budget = resolve_budget(limits, budget)
         instr = (
@@ -320,15 +358,17 @@ class MBEAlgorithm(ABC):
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
         stats = EnumerationStats()
-        if budget is None:
-            guard = NULL_GUARD
+        guard = NULL_GUARD if budget is None else budget.arm()
+        if on_biclique is not None:
+            collect = False
+            sink = _HookSink(swapped, on_biclique, guard, instr, stats)
+        elif budget is None:
             sink = (
                 _InstrumentedSink(collect, swapped, instr, stats)
                 if instr.enabled
                 else _Sink(collect, swapped)
             )
         else:
-            guard = budget.arm()
             sink = (
                 _GuardedInstrumentedSink(collect, swapped, guard, instr, stats)
                 if instr.enabled
@@ -411,6 +451,7 @@ def run_mbe(
     node_limit: int | None = None,
     budget: RunBudget | None = None,
     instrumentation: Instrumentation | None = None,
+    on_biclique: Callable[[Biclique], None] | None = None,
     **options,
 ) -> MBEResult:
     """Run a registered algorithm by name — the library's main entry point.
@@ -424,6 +465,8 @@ def run_mbe(
 
     ``instrumentation`` attaches an :class:`repro.obs.Instrumentation`
     handle: metrics, phase spans, and progress heartbeats for the run.
+    ``on_biclique`` streams every result to a caller-owned hook instead
+    of collecting (see :meth:`MBEAlgorithm.run`).
 
     >>> from repro import BipartiteGraph, run_mbe
     >>> g = BipartiteGraph([(0, 0), (0, 1), (1, 0), (1, 1), (2, 1)])
@@ -447,5 +490,5 @@ def run_mbe(
         )
     return algo.run(
         graph, collect=collect, budget=budget,
-        instrumentation=instrumentation,
+        instrumentation=instrumentation, on_biclique=on_biclique,
     )

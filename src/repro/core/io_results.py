@@ -4,14 +4,60 @@ Format: one biclique per line, left ids comma-separated, a tab, right ids
 comma-separated — the same format ``repro-mbe run -o`` writes, so saved
 results round-trip through :func:`read_bicliques` and can be audited later
 with ``repro-mbe verify``.
+
+:class:`BicliqueWriter` is the streaming face of the same format: one
+line per :meth:`~BicliqueWriter.write`, flushed immediately, so a
+process killed mid-run leaves at most one torn trailing line (which
+:func:`read_bicliques` can be told to tolerate).  The serving layer's
+memory watchdog spools through it when a job outgrows RAM.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterable
+from typing import IO, Iterable
 
 from repro.core.base import Biclique
+
+
+class BicliqueWriter:
+    """Stream bicliques to a file, one flushed line per result.
+
+    Tracks ``count`` and ``bytes_written`` so callers (the serve memory
+    watchdog) can bound spool growth without stat-ing the file.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = os.fspath(path)
+        self._handle: IO[str] | None = open(self.path, "w", encoding="utf-8")
+        self.count = 0
+        self.bytes_written = 0
+
+    def write(self, b: Biclique) -> None:
+        assert self._handle is not None, "writer is closed"
+        line = (
+            ",".join(map(str, b.left)) + "\t" + ",".join(map(str, b.right)) + "\n"
+        )
+        self._handle.write(line)
+        self._handle.flush()
+        self.count += 1
+        self.bytes_written += len(line)
+
+    def write_all(self, bicliques: Iterable[Biclique]) -> int:
+        for b in bicliques:
+            self.write(b)
+        return self.count
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "BicliqueWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def write_bicliques(
@@ -28,15 +74,25 @@ def write_bicliques(
     return count
 
 
-def read_bicliques(path: str | os.PathLike[str]) -> list[Biclique]:
-    """Read a biclique file written by :func:`write_bicliques`."""
+def read_bicliques(
+    path: str | os.PathLike[str], tolerate_torn_tail: bool = False
+) -> list[Biclique]:
+    """Read a biclique file written by :func:`write_bicliques`.
+
+    ``tolerate_torn_tail=True`` drops a malformed *final* line instead of
+    raising — the signature a kill mid-:meth:`BicliqueWriter.write`
+    leaves behind.  Malformed lines anywhere else always raise.
+    """
     out: list[Biclique] = []
     path = os.fspath(path)
     with open(path, encoding="utf-8") as handle:
-        for lineno, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
+        lines = handle.readlines()
+    last_lineno = len(lines)
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
             parts = line.split("\t")
             if len(parts) != 2:
                 raise ValueError(
@@ -51,5 +107,9 @@ def read_bicliques(path: str | os.PathLike[str]) -> list[Biclique]:
                 ) from exc
             if not left or not right:
                 raise ValueError(f"{path}:{lineno}: empty biclique side")
-            out.append(Biclique.make(left, right))
+        except ValueError:
+            if tolerate_torn_tail and lineno == last_lineno:
+                break
+            raise
+        out.append(Biclique.make(left, right))
     return out

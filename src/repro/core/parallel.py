@@ -86,6 +86,23 @@ class _LocalCounter:
         return self.value
 
 
+class _ProbeEvent:
+    """Event-shaped wrapper over a cancel probe (inline workers=1 runs).
+
+    The worker context expects an object with ``is_set``; in-process
+    execution can poll the caller's probe directly instead of a
+    ``multiprocessing.Event``.
+    """
+
+    __slots__ = ("_probe",)
+
+    def __init__(self, probe):
+        self._probe = probe
+
+    def is_set(self) -> bool:
+        return bool(self._probe())
+
+
 class _SharedCounter:
     """Cross-process result counter over a ``multiprocessing.Value``."""
 
@@ -374,6 +391,7 @@ class ParallelMBE(MBEAlgorithm):
         limits: EnumerationLimits | None = None,
         budget: RunBudget | None = None,
         instrumentation=None,
+        on_biclique=None,
     ) -> MBEResult:
         """Enumerate in parallel; degrades gracefully under any failure.
 
@@ -390,15 +408,36 @@ class ParallelMBE(MBEAlgorithm):
         ``enumerate`` span, each worker's stats snapshot is aggregated
         into the metric registry, and the executor publishes its
         retry/crash/stall counters and incident events.
+
+        ``budget.cancel`` binds here too: the driver polls the probe
+        between (and, pooled, *during*) task completions, relays it to
+        workers through the shared cancel event, and returns a partial
+        result with ``meta["stopped"] == "cancelled"``.  ``on_biclique``
+        streams results (including checkpoint-resumed ones) to a
+        caller-owned hook instead of collecting; workers still ship
+        bicliques to the driver per task, so the hook sees them at task
+        granularity.
         """
         budget = resolve_budget(limits, budget)
         instr = (
             instrumentation if instrumentation is not None
             else NULL_INSTRUMENTATION
         )
+        stream = on_biclique is not None
+        if stream:
+            collect = True  # workers ship bicliques; the hook owns storage
         work_graph, swapped = (
             graph.oriented_smaller_v() if self.orient_smaller_v else (graph, False)
         )
+
+        def deliver(items) -> None:
+            """Hand bicliques to the hook in original orientation."""
+            if swapped:
+                for b in items:
+                    on_biclique(b.swap())
+            else:
+                for b in items:
+                    on_biclique(b)
         algo_options = {
             "order": self.order,
             "seed": self.seed,
@@ -444,9 +483,13 @@ class ParallelMBE(MBEAlgorithm):
                     setattr(part_stats, key, value)
                 stats.merge(part_stats)
                 if collect and rec["bicliques"]:
-                    bicliques.extend(
+                    restored = [
                         Biclique.make(ls, rs) for ls, rs in rec["bicliques"]
-                    )
+                    ]
+                    if stream:
+                        deliver(restored)
+                    else:
+                        bicliques.extend(restored)
             meta["resumed_tasks"] = len(resumed)
 
         # -- budget wiring -------------------------------------------------
@@ -456,6 +499,7 @@ class ParallelMBE(MBEAlgorithm):
         # means an NTP step can never break budget math.
         max_results = budget.max_bicliques if budget is not None else None
         time_limit = budget.time_limit if budget is not None else None
+        cancel_probe = budget.cancel if budget is not None else None
         deadline = (
             time.monotonic() + time_limit if time_limit is not None else None
         )
@@ -463,7 +507,9 @@ class ParallelMBE(MBEAlgorithm):
         pooled = self.workers > 1
         mp_ctx = multiprocessing.get_context("fork")
         cancel_event = (
-            mp_ctx.Event() if (pooled and max_results is not None) else None
+            mp_ctx.Event()
+            if pooled and (max_results is not None or cancel_probe is not None)
+            else None
         )
         if max_results is not None:
             shared = (
@@ -484,7 +530,10 @@ class ParallelMBE(MBEAlgorithm):
                 setattr(part_stats, key, value)
             stats.merge(part_stats)
             if collect and task_bicliques:
-                bicliques.extend(task_bicliques)
+                if stream:
+                    deliver(task_bicliques)
+                else:
+                    bicliques.extend(task_bicliques)
             if instr.enabled:
                 # per-worker snapshot: one trace event per task, plus a
                 # progress pulse over the aggregated driver-side stats
@@ -508,6 +557,23 @@ class ParallelMBE(MBEAlgorithm):
                 and cancel_event is not None
             ):
                 cancel_event.set()
+
+        externally_cancelled = False
+
+        def _cancelled() -> bool:
+            """Executor probe: external cancel first, then the result cap.
+
+            An external cancellation is relayed to pooled workers through
+            the shared event so in-flight tasks stop at their next guard
+            boundary instead of running to completion.
+            """
+            nonlocal externally_cancelled
+            if cancel_probe is not None and cancel_probe():
+                externally_cancelled = True
+                if cancel_event is not None:
+                    cancel_event.set()
+                return True
+            return max_results is not None and count >= max_results
 
         executor = ResilientExecutor(
             task_fn=_run_task,
@@ -535,8 +601,8 @@ class ParallelMBE(MBEAlgorithm):
             deadline=deadline,
             instr=instr,
             cancel=(
-                (lambda: count >= max_results)
-                if max_results is not None
+                _cancelled
+                if (max_results is not None or cancel_probe is not None)
                 else None
             ),
             split_fn=lambda task, attempts: self._split_for_retry(
@@ -552,7 +618,12 @@ class ParallelMBE(MBEAlgorithm):
                 else:
                     _init_worker(
                         work_graph, rank, algo_options, collect, self.faults,
-                        None, shared, max_results, deadline, inline=True,
+                        (
+                            _ProbeEvent(cancel_probe)
+                            if cancel_probe is not None
+                            else None
+                        ),
+                        shared, max_results, deadline, inline=True,
                     )
                     report = executor.run_serial(tasks)
         finally:
@@ -573,14 +644,24 @@ class ParallelMBE(MBEAlgorithm):
             if report.stopped == "time_limit":
                 stopped = "time_limit"
             elif report.stopped == "cancelled":
-                stopped = "max_bicliques" if max_results is not None else "cancelled"
+                # the shared cancel path serves two masters: an external
+                # probe reports "cancelled", the result cap "max_bicliques"
+                stopped = (
+                    "cancelled"
+                    if externally_cancelled or max_results is None
+                    else "max_bicliques"
+                )
         if stopped is None and partial_reasons:
-            for reason in ("max_bicliques", "time_limit", "cancelled"):
-                if reason in partial_reasons or (
-                    reason == "max_bicliques" and "cancelled" in partial_reasons
-                ):
-                    stopped = reason
-                    break
+            if "max_bicliques" in partial_reasons or (
+                "cancelled" in partial_reasons
+                and max_results is not None
+                and not externally_cancelled
+            ):
+                stopped = "max_bicliques"
+            elif "time_limit" in partial_reasons:
+                stopped = "time_limit"
+            elif "cancelled" in partial_reasons:
+                stopped = "cancelled"
         if stopped:
             meta["stopped"] = stopped
 
@@ -595,7 +676,9 @@ class ParallelMBE(MBEAlgorithm):
         # boundaries, so the raw union can overshoot slightly).
         if max_results is not None and count > max_results:
             count = max_results
-            if collect:
+            if collect and not stream:
+                # (a streaming hook has already seen the overshoot; it is
+                # bounded by the workers' amortized flush window)
                 del bicliques[max_results:]
             complete = False
 
@@ -610,7 +693,7 @@ class ParallelMBE(MBEAlgorithm):
             count=count,
             elapsed=elapsed,
             stats=stats,
-            bicliques=bicliques if collect else None,
+            bicliques=None if stream else (bicliques if collect else None),
             complete=complete,
             meta=meta,
         )

@@ -15,7 +15,12 @@ checkpoint is an append-only JSONL file:
   recorded, so a resumed run redoes them in full.
 
 Records are flushed as they are written; a run killed mid-write leaves at
-most one torn trailing line, which the loader tolerates and drops.
+most one torn trailing line, which the loader tolerates and drops.  Any
+*other* damage — invalid JSON mid-file, a record that is not a JSON
+object, a task record with missing or mistyped fields — raises
+:class:`CheckpointError` with ``path:line`` context instead of silently
+dropping data or surfacing an opaque ``json.JSONDecodeError`` /
+``KeyError`` deep inside resume.
 
 Resume reconciliation (:func:`reconcile_tasks`) is root-aware: a root
 ``v`` may have been recorded either as the whole-subtree task ``(v,0,1)``
@@ -97,11 +102,24 @@ def load_checkpoint(path: str | os.PathLike[str]) -> Checkpoint | None:
     parsed: list[dict[str, Any]] = []
     for i, line in enumerate(lines):
         try:
-            parsed.append(json.loads(line))
-        except json.JSONDecodeError:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
             if i == len(lines) - 1:
                 break  # torn final write from a killed run
-            raise CheckpointError(f"{path}:{i + 1}: malformed checkpoint line")
+            raise CheckpointError(
+                f"{path}:{i + 1}: malformed checkpoint record mid-file "
+                f"(not valid JSON: {exc.msg}); the file cannot be trusted — "
+                f"delete it to restart from scratch"
+            ) from exc
+        if not isinstance(record, dict):
+            # valid JSON that is not an object is corruption everywhere,
+            # including the tail: a torn write of this writer's records
+            # can never parse as a bare scalar or array
+            raise CheckpointError(
+                f"{path}:{i + 1}: checkpoint record is not a JSON object "
+                f"(got {type(record).__name__})"
+            )
+        parsed.append(record)
     if not parsed:
         return None
     header = parsed[0]
@@ -113,10 +131,41 @@ def load_checkpoint(path: str | os.PathLike[str]) -> Checkpoint | None:
         )
     ckpt = Checkpoint(header={k: v for k, v in header.items() if k != "version"})
     for i, rec in enumerate(parsed[1:], start=2):
-        if rec.get("type") != "task" or "key" not in rec:
-            raise CheckpointError(f"{path}:{i}: malformed task record")
+        _validate_task_record(rec, path, i)
         ckpt.records[rec["key"]] = rec
     return ckpt
+
+
+def _validate_task_record(rec: dict[str, Any], path: str, lineno: int) -> None:
+    """Raise :class:`CheckpointError` with file:line context on any field
+    a resume would later trip over with an opaque KeyError/TypeError."""
+
+    def bad(detail: str) -> "CheckpointError":
+        return CheckpointError(
+            f"{path}:{lineno}: malformed task record ({detail})"
+        )
+
+    if rec.get("type") != "task":
+        raise bad(f"type is {rec.get('type')!r}, expected 'task'")
+    if not isinstance(rec.get("key"), str):
+        raise bad("missing or non-string 'key'")
+    task = rec.get("task")
+    if (
+        not isinstance(task, list)
+        or len(task) != 3
+        or not all(isinstance(x, int) for x in task)
+    ):
+        raise bad("'task' is not a [v, part, n_parts] integer triple")
+    if not isinstance(rec.get("count"), int) or rec["count"] < 0:
+        raise bad("missing or invalid 'count'")
+    if not isinstance(rec.get("stats"), dict):
+        raise bad("missing or invalid 'stats'")
+    bicliques = rec.get("bicliques")
+    if bicliques is not None:
+        if not isinstance(bicliques, list) or not all(
+            isinstance(b, list) and len(b) == 2 for b in bicliques
+        ):
+            raise bad("'bicliques' is not a list of [left, right] pairs")
 
 
 class CheckpointWriter:

@@ -111,6 +111,7 @@ class ResilientExecutor:
         max_inflight: int = 2,
         deadline: float | None = None,
         cancel: Callable[[], bool] | None = None,
+        cancel_poll: float = 0.25,
         split_fn: Callable[[tuple, int], list[tuple] | None] | None = None,
         instr=NULL_INSTRUMENTATION,
     ):
@@ -124,6 +125,10 @@ class ResilientExecutor:
         self.max_inflight = max(1, max_inflight)
         self.deadline = deadline  # absolute time.monotonic() value
         self.cancel = cancel
+        #: how often (seconds) the pooled loop re-polls ``cancel`` while
+        #: waiting on futures; a cancellation therefore binds within one
+        #: poll interval instead of at the next task completion
+        self.cancel_poll = cancel_poll
         self.split_fn = split_fn
         #: observability handle (repro.obs): retry/crash/stall counters
         #: and per-incident trace events; no-op by default
@@ -220,7 +225,14 @@ class ResilientExecutor:
         """Drive one pool until it drains or breaks; True means recycle."""
         in_flight: dict[Future, tuple[tuple, int]] = {}
         broken = False
+        # The stall window restarts at every completion; tracking the last
+        # completion explicitly lets the wait below wake early to re-poll
+        # ``cancel`` without shrinking the stall window.
+        last_progress = time.monotonic()
         while (pending or in_flight) and report.stopped is None and not broken:
+            if self.cancel is not None and self.cancel():
+                report.stopped = "cancelled"
+                break
             while pending and len(in_flight) < self.max_inflight:
                 task, attempt = pending.popleft()
                 try:
@@ -229,13 +241,23 @@ class ResilientExecutor:
                     pending.appendleft((task, attempt))
                     return True
                 in_flight[fut] = (task, attempt)
-            window = self.task_timeout
+            window = None
+            if self.task_timeout is not None:
+                window = max(
+                    0.0,
+                    self.task_timeout - (time.monotonic() - last_progress),
+                )
             remaining = self._remaining()
             if remaining is not None:
                 window = remaining if window is None else min(window, remaining)
                 if window <= 0:
                     report.stopped = "time_limit"
                     break
+            if self.cancel is not None:
+                window = (
+                    self.cancel_poll if window is None
+                    else min(window, self.cancel_poll)
+                )
             done, _ = wait(
                 set(in_flight), timeout=window, return_when=FIRST_COMPLETED
             )
@@ -243,15 +265,24 @@ class ResilientExecutor:
                 if self._out_of_time():
                     report.stopped = "time_limit"
                     break
-                # Stall: nothing completed inside the window — declare the
-                # in-flight tasks hung and recycle the pool (terminating
-                # the stuck workers).
-                for task, attempt in in_flight.values():
-                    self._register_failure(
-                        pending, report, task, attempt,
-                        f"task stalled past {self.task_timeout}s",
-                    )
-                return True
+                if self.cancel is not None and self.cancel():
+                    report.stopped = "cancelled"
+                    break
+                if (
+                    self.task_timeout is not None
+                    and time.monotonic() - last_progress >= self.task_timeout
+                ):
+                    # Stall: nothing completed inside the window — declare
+                    # the in-flight tasks hung and recycle the pool
+                    # (terminating the stuck workers).
+                    for task, attempt in in_flight.values():
+                        self._register_failure(
+                            pending, report, task, attempt,
+                            f"task stalled past {self.task_timeout}s",
+                        )
+                    return True
+                continue  # woke early to re-poll cancel; not a stall
+            last_progress = time.monotonic()
             broken = self._consume(done, in_flight, pending, report)
             if self._out_of_time():
                 report.stopped = "time_limit"

@@ -1,0 +1,182 @@
+"""Crash-safe job journal: append-only JSONL with torn-tail tolerance.
+
+The journal is the service's only durable truth about jobs.  One record
+per lifecycle event::
+
+    {"type": "job", "event": "submitted", "job_id": ..., "t": ...,
+     "spec": {...}, "idempotency_key": ...}
+    {"type": "job", "event": "started" | "interrupted" | "done" |
+     "failed" | "cancelled", "job_id": ..., "t": ..., ...}
+
+Records are flushed as written (the same torn-tail discipline as
+:mod:`repro.runtime.checkpoint`): a server killed mid-write leaves at
+most one torn trailing line, which :func:`load_journal` drops; any
+other corruption raises :class:`JournalError` with ``path:line``
+context.
+
+Replaying the journal reconstructs every job's last known state.  Jobs
+whose trail ends at ``submitted`` / ``started`` / ``interrupted`` were
+in flight when the server died and are re-enqueued on restart — their
+per-job checkpoint directory still holds whatever the enumeration had
+persisted, so a checkpoint-capable engine resumes instead of redoing.
+``done`` records double as the idempotency store: resubmitting a spec
+with a known ``idempotency_key`` returns the recorded job instead of
+re-running it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import IO, Any
+
+from repro.serve.jobs import Job, JobSpec
+
+__all__ = ["JobJournal", "JournalError", "load_journal"]
+
+#: Events that mean the job still needs work after a restart.
+RESUMABLE_EVENTS = frozenset({"submitted", "started", "interrupted"})
+
+
+class JournalError(ValueError):
+    """Raised on corrupt (non-torn-tail) journal content."""
+
+
+def load_journal(path: str | os.PathLike[str]) -> dict[str, dict[str, Any]]:
+    """Replay a journal into ``{job_id: last-state}``.
+
+    Each value carries ``event`` (the job's last journaled event),
+    ``spec`` (the submitted spec dict), ``idempotency_key``, and the
+    final event's extra fields (``summary``, ``error``…).  Returns ``{}``
+    when the file does not exist.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    jobs: dict[str, dict[str, Any]] = {}
+    stripped = [(i + 1, ln) for i, ln in enumerate(lines) if ln.strip()]
+    for pos, (lineno, line) in enumerate(stripped):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if pos == len(stripped) - 1:
+                break  # torn final write from a killed server
+            raise JournalError(
+                f"{path}:{lineno}: malformed journal record mid-file "
+                f"(not valid JSON: {exc.msg})"
+            ) from exc
+        if not isinstance(rec, dict) or rec.get("type") != "job":
+            raise JournalError(
+                f"{path}:{lineno}: journal record is not a job event object"
+            )
+        event = rec.get("event")
+        job_id = rec.get("job_id")
+        if not isinstance(event, str) or not isinstance(job_id, str):
+            raise JournalError(
+                f"{path}:{lineno}: job event missing 'event'/'job_id'"
+            )
+        entry = jobs.setdefault(job_id, {"job_id": job_id})
+        if event == "submitted":
+            if not isinstance(rec.get("spec"), dict):
+                raise JournalError(
+                    f"{path}:{lineno}: submitted record missing 'spec'"
+                )
+            entry["spec"] = rec["spec"]
+            entry["idempotency_key"] = rec.get("idempotency_key")
+        entry["event"] = event
+        for key in ("summary", "error"):
+            if key in rec:
+                entry[key] = rec[key]
+    return jobs
+
+
+def _repair_tail(path: str) -> None:
+    """Make a journal appendable again after a mid-write kill.
+
+    A file ending mid-line either holds a torn (unparseable) record —
+    truncated away, matching what :func:`load_journal` already ignores —
+    or a complete record missing only its newline, which gets one so the
+    next append does not fuse two records.
+    """
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return
+    with open(path, "rb+") as handle:
+        data = handle.read()
+        if data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1
+        try:
+            json.loads(data[cut:])
+        except json.JSONDecodeError:
+            handle.truncate(cut)
+        else:
+            handle.write(b"\n")
+
+
+class JobJournal:
+    """Append-only writer plus the recovery view over one journal file."""
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = os.fspath(path)
+        #: replayed state from a previous server life (before this open)
+        self.recovered = load_journal(self.path)
+        _repair_tail(self.path)
+        self._lock = threading.Lock()
+        self._handle: IO[str] | None = open(
+            self.path, "a", encoding="utf-8"
+        )
+
+    def _append(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            assert self._handle is not None, "journal is closed"
+            self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._handle.flush()
+
+    def record_event(self, job: Job, event: str, **extra: Any) -> None:
+        """Append one lifecycle event for ``job``."""
+        record: dict[str, Any] = {
+            "type": "job",
+            "event": event,
+            "job_id": job.job_id,
+            "t": round(time.time(), 3),
+        }
+        if event == "submitted":
+            record["spec"] = job.spec.as_dict()
+            record["idempotency_key"] = job.spec.idempotency_key
+        record.update(extra)
+        self._append(record)
+
+    def resumable_jobs(self) -> list[Job]:
+        """Jobs a restarted server must re-enqueue, oldest first."""
+        out: list[Job] = []
+        for job_id, entry in self.recovered.items():
+            if entry.get("event") not in RESUMABLE_EVENTS:
+                continue
+            spec_dict = entry.get("spec")
+            if spec_dict is None:
+                # started/interrupted without a surviving submitted
+                # record can only mean a pre-crash torn submit: skip
+                continue
+            spec = JobSpec.from_dict(spec_dict)
+            out.append(
+                Job(job_id=job_id, spec=spec, state="queued", recovered=True)
+            )
+        return out
+
+    def idempotency_index(self) -> dict[str, str]:
+        """``{idempotency_key: job_id}`` over every journaled submit."""
+        return {
+            entry["idempotency_key"]: job_id
+            for job_id, entry in self.recovered.items()
+            if entry.get("idempotency_key")
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None

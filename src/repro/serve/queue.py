@@ -1,0 +1,163 @@
+"""Bounded job queue with cost-aware admission control.
+
+Enumeration cost is output-sensitive and can explode on dense inputs
+(the MBET work bound is ``O(B · D³ · log D₂)``), so the service refuses
+work *before* it queues rather than dying under it.  Two gates:
+
+* **Depth.**  The queue holds at most ``max_depth`` jobs.  A full queue
+  is transient back-pressure: the submit is rejected with HTTP 429 and a
+  ``Retry-After`` estimated from the observed mean job duration.
+* **Cost.**  A cheap pre-flight estimate from :mod:`repro.bigraph.stats`
+  — ``|E| · max(D₂(U), D₂(V))``, the edge count times the worst
+  candidate-universe a subtree can see — must stay under ``max_cost``.
+  An over-budget graph is rejected permanently (HTTP 413); retrying will
+  not help, a bigger budget or a reduced graph will.
+
+Estimates for zoo datasets are cached per key (the stats scan is the
+expensive part of admission); inline and file graphs are estimated per
+submit, which is still orders cheaper than enumerating them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.stats import max_two_hop_u, max_two_hop_v
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.jobs import Job
+
+__all__ = ["AdmissionError", "BoundedJobQueue", "estimate_cost"]
+
+
+def estimate_cost(graph: BipartiteGraph) -> int:
+    """Pre-flight work estimate: ``|E| * max(D₂(U), D₂(V))``.
+
+    ``D₂`` bounds the candidate-set size of any enumeration subtree, so
+    this is (up to the output term the estimate cannot know) the shape
+    of the MBET bound with the graph quantities admission *can* afford
+    to compute.
+    """
+    d2 = max(max_two_hop_u(graph), max_two_hop_v(graph))
+    return graph.n_edges * max(1, d2)
+
+
+@dataclass
+class AdmissionError(Exception):
+    """A rejected submit: HTTP status, human reason, optional retry hint."""
+
+    status: int
+    reason: str
+    detail: str
+    retry_after: float | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.status} {self.reason}: {self.detail}"
+
+
+class BoundedJobQueue:
+    """Thread-safe FIFO of jobs with depth-gated admission.
+
+    The cost gate lives in the service (it needs the graph); the queue
+    owns depth, blocking ``get``, and the retry-after estimate.
+    """
+
+    def __init__(self, max_depth: int = 16):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._items: deque[Job] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        # mean job duration estimate for Retry-After (seeded pessimistic)
+        self._mean_duration = 1.0
+        self._observed = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, job: "Job") -> None:
+        """Enqueue or raise :class:`AdmissionError` (queue full / closed)."""
+        with self._not_empty:
+            if self._closed:
+                raise AdmissionError(
+                    status=503, reason="draining",
+                    detail="server is draining; not admitting new jobs",
+                )
+            if len(self._items) >= self.max_depth:
+                raise AdmissionError(
+                    status=429, reason="queue_full",
+                    detail=(
+                        f"queue depth {len(self._items)} is at the limit "
+                        f"({self.max_depth})"
+                    ),
+                    retry_after=self.retry_after(),
+                )
+            self._items.append(job)
+            self._not_empty.notify()
+
+    def put_recovered(self, job: "Job") -> None:
+        """Re-enqueue a journal-recovered job, bypassing the depth gate.
+
+        Recovery must never drop accepted work: jobs the server already
+        admitted before a crash go back on the queue even when that
+        overshoots ``max_depth`` (new submits stay gated).
+        """
+        with self._not_empty:
+            self._items.append(job)
+            self._not_empty.notify()
+
+    # -- consumer side -----------------------------------------------------
+
+    def get(self, timeout: float | None = None) -> "Job | None":
+        """Pop the oldest job; None on timeout or when closed and empty."""
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            return self._items.popleft()
+
+    def remove(self, job_id: str) -> "Job | None":
+        """Remove a still-queued job (cancellation before it runs)."""
+        with self._lock:
+            for i, job in enumerate(self._items):
+                if job.job_id == job_id:
+                    del self._items[i]
+                    return job
+        return None
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def observe_duration(self, seconds: float) -> None:
+        """Fold one finished job's wall clock into the mean estimate."""
+        with self._lock:
+            self._observed += 1
+            self._mean_duration += (
+                seconds - self._mean_duration
+            ) / self._observed
+
+    def retry_after(self) -> float:
+        """Seconds a rejected client should wait before resubmitting."""
+        # one queue drain's worth of mean job time, floored at 1s
+        return max(1.0, self._mean_duration * max(1, len(self._items)))
+
+    def close(self) -> None:
+        """Stop admitting and wake blocked consumers (drain path)."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,736 @@
+"""The embedded enumeration service: core + HTTP surface.
+
+:class:`EnumerationService` owns the whole robustness stack
+(``docs/serving.md``): the bounded queue with cost-aware admission
+(:mod:`repro.serve.queue`), per-engine circuit breakers with a fallback
+chain (:mod:`repro.serve.breaker`), the memory watchdog's degradation
+ladder (:mod:`repro.serve.watchdog`), and the crash-safe job journal
+(:mod:`repro.serve.journal`).  The HTTP layer on top is a thin
+``http.server`` translation — everything is stdlib, nothing to deploy.
+
+Crash safety contract: every accepted job is journaled before it is
+queued, every state change is journaled as it happens, and a server
+restarted against the same ``--state-dir`` re-enqueues any job whose
+trail is non-terminal.  The parallel engine additionally resumes from
+its per-job checkpoint file, so a kill -9 mid-enumeration costs only
+the unfinished subtrees — and because each attempt truncates its spool,
+a resumed job reports the exact maximal-biclique set with no
+duplicates.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import re
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro import datasets
+from repro.bigraph.graph import BipartiteGraph
+from repro.bigraph.io import read_edge_list
+from repro.core.base import ALGORITHMS, Biclique, run_mbe
+from repro.core.io_results import read_bicliques
+from repro.obs.metrics import MetricRegistry
+from repro.obs.sinks import prometheus_text
+from repro.runtime.budget import RunBudget
+from repro.runtime.faults import FaultPlan
+from repro.serve.breaker import STATE_CODES, BreakerOpen, BreakerRegistry
+from repro.serve.jobs import (
+    TERMINAL_STATES,
+    Job,
+    JobSpec,
+    JobValidationError,
+    new_job_id,
+)
+from repro.serve.journal import JobJournal
+from repro.serve.queue import AdmissionError, BoundedJobQueue, estimate_cost
+from repro.serve.watchdog import DegradableCollector, MemoryWatchdog
+
+__all__ = ["EnumerationService", "ServiceConfig", "make_http_server",
+           "run_server"]
+
+#: The parallel engine keeps worker state in a module global, so at most
+#: one parallel run may execute per process at a time.
+_PARALLEL_LOCK = threading.Lock()
+
+
+class JobNotFound(KeyError):
+    """Unknown job id (HTTP 404)."""
+
+
+class JobNotFinished(Exception):
+    """Result requested before the job reached a terminal state (409)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance (all have serving-safe defaults)."""
+
+    state_dir: str
+    workers: int = 2
+    max_queue_depth: int = 16
+    #: admission cost ceiling (``estimate_cost`` units); None = unbounded
+    max_cost: int | None = None
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    #: memory watchdog limits (bytes); None disables the RSS trips
+    soft_limit_bytes: int | None = None
+    hard_limit_bytes: int | None = None
+    max_in_ram: int = 200_000
+    max_spool_bytes: int = 256 * 1024 * 1024
+    #: budget applied to jobs that do not set their own time limit
+    default_time_limit: float | None = None
+    drain_timeout: float = 10.0
+    #: honour ``faults`` in job specs (chaos testing only)
+    allow_faults: bool = False
+    fallback: tuple = ("mbet_vec", "mbet", "mbea")
+
+
+class EnumerationService:
+    """Queue, workers, breakers, watchdog, journal — the service core."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        os.makedirs(config.state_dir, exist_ok=True)
+        self.jobs_dir = os.path.join(config.state_dir, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+
+        self.registry = MetricRegistry()
+        self._jobs_counter = lambda state: self.registry.counter(
+            "serve_jobs_total", "job lifecycle events",
+            labels={"event": state},
+        )
+        self.queue = BoundedJobQueue(max_depth=config.max_queue_depth)
+        self.breakers = BreakerRegistry(
+            failure_threshold=config.breaker_threshold,
+            cooldown=config.breaker_cooldown,
+            chain=config.fallback,
+            on_transition=self._on_breaker_transition,
+        )
+        self.journal = JobJournal(
+            os.path.join(config.state_dir, "journal.jsonl")
+        )
+
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._results: dict[str, list[Biclique]] = {}
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._idempotency: dict[str, str] = {}
+        self._cost_cache: dict[str, int] = {}
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._draining = False
+
+        self._recover()
+
+    # -- observability -----------------------------------------------------
+
+    def _on_breaker_transition(self, engine: str, _frm: str, to: str) -> None:
+        self.registry.counter(
+            "serve_breaker_transitions_total",
+            "circuit breaker state transitions",
+            labels={"engine": engine, "to": to},
+        ).inc()
+
+    def metrics_text(self) -> str:
+        """Render the service registry as Prometheus text exposition."""
+        self.registry.gauge(
+            "serve_queue_depth", "jobs waiting in the admission queue"
+        ).set(self.queue.depth)
+        for engine, state in self.breakers.states().items():
+            self.registry.gauge(
+                "serve_breaker_state",
+                "breaker state (0=closed, 1=half_open, 2=open)",
+                labels={"engine": engine},
+            ).set(STATE_CODES[state])
+        return prometheus_text(self.registry)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild state from the journal of a previous server life."""
+        self._idempotency = self.journal.idempotency_index()
+        # terminal jobs: restore enough state to answer status queries
+        for job_id, entry in self.journal.recovered.items():
+            event = entry.get("event")
+            if event not in TERMINAL_STATES or "spec" not in entry:
+                continue
+            job = Job(
+                job_id=job_id,
+                spec=JobSpec.from_dict(entry["spec"]),
+                state=event,
+                summary=entry.get("summary") or {},
+                error=entry.get("error"),
+                recovered=True,
+            )
+            self._jobs[job_id] = job
+        # in-flight jobs: re-enqueue, bypassing the depth gate
+        for job in self.journal.resumable_jobs():
+            self._jobs[job.job_id] = job
+            self._cancel_events[job.job_id] = threading.Event()
+            self.queue.put_recovered(job)
+            self.journal.record_event(job, "interrupted")
+            self._jobs_counter("recovered").inc()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker pool."""
+        for i in range(self.config.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Stop admitting, finish running jobs, journal the rest.
+
+        Jobs still queued (or still running after ``timeout``) are
+        journaled ``interrupted`` so the next server life resumes them.
+        """
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        self._draining = True
+        self._stop.set()
+        self.queue.close()
+        deadline = time.monotonic() + timeout
+        for t in self._threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+        # anything still running is out of grace: cancel cooperatively
+        with self._lock:
+            events = list(self._cancel_events.values())
+        for event in events:
+            event.set()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        with self._lock:
+            pending = [
+                j for j in self._jobs.values()
+                if j.state not in TERMINAL_STATES
+            ]
+        for job in pending:
+            self.journal.record_event(job, "interrupted")
+            job.state = "interrupted"
+        self.journal.close()
+
+    @property
+    def ready(self) -> bool:
+        return not self._draining
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, payload: Any) -> tuple[Job, bool]:
+        """Admit one job; returns ``(job, deduplicated)``.
+
+        Raises :class:`JobValidationError` (400) on a bad spec and
+        :class:`AdmissionError` (413 / 429 / 503) on a refused one.
+        """
+        spec = JobSpec.from_dict(payload)
+        if spec.faults and not self.config.allow_faults:
+            raise JobValidationError(
+                "fault injection is disabled (server runs without "
+                "--allow-faults)"
+            )
+        if spec.engine not in ALGORITHMS:
+            raise JobValidationError(
+                f"unknown engine {spec.engine!r}; "
+                f"available: {sorted(ALGORITHMS)}"
+            )
+        if spec.idempotency_key:
+            with self._lock:
+                known = self._idempotency.get(spec.idempotency_key)
+                if known is not None and known in self._jobs:
+                    return self._jobs[known], True
+        graph = self._resolve_graph(spec)
+        self._admit_cost(spec, graph)
+
+        job = Job(
+            job_id=new_job_id(), spec=spec, submitted_at=time.time()
+        )
+        with self._lock:
+            if self._draining:
+                raise AdmissionError(
+                    status=503, reason="draining",
+                    detail="server is draining; not admitting new jobs",
+                )
+            self._jobs[job.job_id] = job
+            self._cancel_events[job.job_id] = threading.Event()
+            if spec.idempotency_key:
+                self._idempotency[spec.idempotency_key] = job.job_id
+        self.journal.record_event(job, "submitted")
+        try:
+            self.queue.put(job)
+        except AdmissionError:
+            self.journal.record_event(job, "rejected")
+            with self._lock:
+                self._jobs.pop(job.job_id, None)
+                self._cancel_events.pop(job.job_id, None)
+                if spec.idempotency_key:
+                    self._idempotency.pop(spec.idempotency_key, None)
+            self.registry.counter(
+                "serve_rejections_total", "refused submits",
+                labels={"reason": "queue_full"},
+            ).inc()
+            raise
+        self._jobs_counter("submitted").inc()
+        return job, False
+
+    def _resolve_graph(self, spec: JobSpec) -> BipartiteGraph:
+        if spec.dataset is not None:
+            if spec.dataset not in datasets.names():
+                raise JobValidationError(
+                    f"unknown dataset {spec.dataset!r}"
+                )
+            return datasets.load(spec.dataset)
+        if spec.graph_path is not None:
+            if not os.path.exists(spec.graph_path):
+                raise JobValidationError(
+                    f"graph_path does not exist: {spec.graph_path}"
+                )
+            return read_edge_list(spec.graph_path, fmt=spec.fmt)
+        return BipartiteGraph([tuple(e) for e in spec.edges or ()])
+
+    def _admit_cost(self, spec: JobSpec, graph: BipartiteGraph) -> None:
+        if self.config.max_cost is None:
+            return
+        if spec.dataset is not None and spec.dataset in self._cost_cache:
+            cost = self._cost_cache[spec.dataset]
+        else:
+            cost = estimate_cost(graph)
+            if spec.dataset is not None:
+                self._cost_cache[spec.dataset] = cost
+        if cost > self.config.max_cost:
+            self.registry.counter(
+                "serve_rejections_total", "refused submits",
+                labels={"reason": "cost"},
+            ).inc()
+            raise AdmissionError(
+                status=413, reason="over_cost",
+                detail=(
+                    f"estimated cost {cost:,} exceeds the admission "
+                    f"ceiling {self.config.max_cost:,}; reduce the graph "
+                    f"or raise --max-cost"
+                ),
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFound(job_id)
+        return job.status_payload()
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+        return [j.status_payload() for j in jobs]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """Terminal job's outcome, including bicliques when stored."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            ram = self._results.get(job_id)
+        if job is None:
+            raise JobNotFound(job_id)
+        if job.state not in TERMINAL_STATES and job.state != "interrupted":
+            raise JobNotFinished(job.state)
+        payload = job.status_payload()
+        stored = job.summary.get("results", {})
+        if ram is not None:
+            payload["bicliques"] = [
+                [list(b.left), list(b.right)] for b in ram
+            ]
+        elif stored.get("mode") == "spool":
+            spool = stored.get("spool_path")
+            if spool and os.path.exists(spool):
+                payload["bicliques"] = [
+                    [list(b.left), list(b.right)]
+                    for b in read_bicliques(spool, tolerate_torn_tail=True)
+                ]
+            else:
+                payload["results_available"] = False
+        elif job.spec.collect and job.recovered:
+            # RAM results do not survive a restart
+            payload["results_available"] = False
+        return payload
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            event = self._cancel_events.get(job_id)
+        if job is None:
+            raise JobNotFound(job_id)
+        if job.state in TERMINAL_STATES:
+            return job.status_payload()
+        removed = self.queue.remove(job_id)
+        if removed is not None:
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            self.journal.record_event(job, "cancelled")
+            self._jobs_counter("cancelled").inc()
+        elif event is not None:
+            job.cancel_requested = True
+            event.set()
+        return job.status_payload()
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=0.1)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            try:
+                self._run_job(job)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                job.state = "failed"
+                job.error = f"internal error: {exc!r}"
+                job.finished_at = time.time()
+                self.journal.record_event(job, "failed", error=job.error)
+                self._jobs_counter("failed").inc()
+
+    def _engines_for(self, spec: JobSpec) -> list[str]:
+        """Fallback order for one job, honouring threshold support.
+
+        A job with size thresholds must not silently fall back to an
+        engine that ignores them — the result set would change.
+        """
+        needs_thresholds = spec.min_left > 1 or spec.min_right > 1
+        out = []
+        for engine in self.breakers.resolve(spec.engine):
+            if engine not in ALGORITHMS:
+                continue
+            params = inspect.signature(ALGORITHMS[engine]).parameters
+            if needs_thresholds and "min_left" not in params:
+                continue
+            out.append(engine)
+        return out
+
+    def _engine_kwargs(self, engine: str, spec: JobSpec, job_dir: str) -> dict:
+        params = inspect.signature(ALGORITHMS[engine]).parameters
+        kwargs = {
+            k: v for k, v in spec.engine_options.items() if k in params
+        }
+        if "min_left" in params:
+            kwargs.setdefault("min_left", spec.min_left)
+            kwargs.setdefault("min_right", spec.min_right)
+        if "checkpoint" in params:
+            kwargs.setdefault(
+                "checkpoint", os.path.join(job_dir, "checkpoint.jsonl")
+            )
+        if "faults" in params and spec.faults and self.config.allow_faults:
+            kwargs.setdefault("faults", FaultPlan(**spec.faults))
+        return kwargs
+
+    def _run_job(self, job: Job) -> None:
+        spec = job.spec
+        job.state = "running"
+        job.started_at = time.time()
+        job.attempts += 1
+        self.journal.record_event(job, "started", attempt=job.attempts)
+        with self._lock:
+            cancel_event = self._cancel_events.setdefault(
+                job.job_id, threading.Event()
+            )
+        job_dir = os.path.join(self.jobs_dir, job.job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        graph = self._resolve_graph(spec)
+        watchdog = MemoryWatchdog(
+            soft_limit_bytes=self.config.soft_limit_bytes,
+            hard_limit_bytes=self.config.hard_limit_bytes,
+            max_in_ram=self.config.max_in_ram,
+            max_spool_bytes=self.config.max_spool_bytes,
+        )
+
+        engines = self._engines_for(spec)
+        fallbacks: list[dict[str, str]] = []
+        result = None
+        collector = None
+        engine_used = None
+        t0 = time.monotonic()
+        for engine in engines:
+            breaker = self.breakers.breaker(engine)
+            try:
+                breaker.acquire()
+            except BreakerOpen as exc:
+                fallbacks.append({"engine": engine, "why": str(exc)})
+                continue
+            budget = RunBudget(
+                time_limit=(
+                    spec.time_limit
+                    if spec.time_limit is not None
+                    else self.config.default_time_limit
+                ),
+                max_bicliques=spec.max_bicliques,
+                max_nodes=spec.max_nodes,
+                cancel=cancel_event.is_set,
+            )
+            collector = (
+                DegradableCollector(
+                    os.path.join(job_dir, "results.jsonl"),
+                    watchdog,
+                    on_degrade=lambda mode: self.registry.counter(
+                        "serve_degrade_total",
+                        "memory-watchdog degradations",
+                        labels={"mode": mode},
+                    ).inc(),
+                )
+                if spec.collect
+                else None
+            )
+            kwargs = self._engine_kwargs(engine, spec, job_dir)
+            try:
+                if engine == "parallel":
+                    with _PARALLEL_LOCK:
+                        result = run_mbe(
+                            graph, algorithm=engine, collect=False,
+                            budget=budget, on_biclique=collector, **kwargs,
+                        )
+                else:
+                    result = run_mbe(
+                        graph, algorithm=engine, collect=False,
+                        budget=budget, on_biclique=collector, **kwargs,
+                    )
+            except Exception as exc:  # noqa: BLE001 - engine fault
+                breaker.record_failure()
+                self.registry.counter(
+                    "serve_engine_failures_total",
+                    "engine executions that raised",
+                    labels={"engine": engine},
+                ).inc()
+                fallbacks.append({"engine": engine, "why": repr(exc)})
+                continue
+            breaker.record_success()
+            engine_used = engine
+            break
+        elapsed = time.monotonic() - t0
+        self.queue.observe_duration(elapsed)
+        self.registry.histogram(
+            "serve_job_duration_seconds", "job wall-clock time"
+        ).observe(elapsed)
+        self._finish_job(job, engine_used, result, collector, fallbacks)
+
+    def _finish_job(self, job, engine_used, result, collector,
+                    fallbacks) -> None:
+        job.finished_at = time.time()
+        if result is None:
+            job.state = "failed"
+            job.error = (
+                "no engine could run the job: "
+                + "; ".join(f"{f['engine']}: {f['why']}" for f in fallbacks)
+            )
+            self.journal.record_event(job, "failed", error=job.error)
+            self._jobs_counter("failed").inc()
+            return
+        stored = (
+            collector.finish() if collector is not None
+            else {"mode": "count", "count": result.count}
+        )
+        job.summary = {
+            "engine": engine_used,
+            "count": result.count,
+            "complete": result.complete,
+            "elapsed": round(result.elapsed, 6),
+            "results": stored,
+        }
+        if result.meta.get("stopped"):
+            job.summary["stopped"] = result.meta["stopped"]
+        if result.meta.get("resumed_tasks"):
+            job.summary["resumed_tasks"] = result.meta["resumed_tasks"]
+        if fallbacks:
+            job.summary["fallbacks"] = fallbacks
+        stopped = result.meta.get("stopped")
+        if stopped == "cancelled" and self._draining and not \
+                job.cancel_requested:
+            # drain-induced stop: resumable on restart, not terminal
+            job.state = "interrupted"
+            self.journal.record_event(job, "interrupted")
+            return
+        if collector is not None and collector.mode == "collect":
+            with self._lock:
+                self._results[job.job_id] = collector.results
+        if stopped == "cancelled":
+            job.state = "cancelled"
+            self.journal.record_event(
+                job, "cancelled", summary=job.summary
+            )
+            self._jobs_counter("cancelled").inc()
+        else:
+            job.state = "done"
+            self.journal.record_event(job, "done", summary=job.summary)
+            self._jobs_counter("done").inc()
+
+
+# --------------------------------------------------------------------------
+# HTTP surface
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9-]+)(/result|/cancel)?$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs to :class:`EnumerationService` methods."""
+
+    server_version = "repro-serve/1"
+    service: EnumerationService  # set by make_http_server
+
+    def log_message(self, *args) -> None:  # pragma: no cover - quiet
+        pass
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise JobValidationError("empty request body")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise JobValidationError(f"invalid JSON body: {exc.msg}") from exc
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.service
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, {"ok": True})
+            elif self.path == "/readyz":
+                if service.ready:
+                    self._send_json(200, {"ready": True})
+                else:
+                    self._send_json(503, {"ready": False,
+                                          "reason": "draining"})
+            elif self.path == "/metrics":
+                body = service.metrics_text().encode()
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            elif self.path == "/jobs":
+                self._send_json(200, {"jobs": service.list_jobs()})
+            else:
+                m = _JOB_PATH.match(self.path)
+                if m and m.group(2) is None:
+                    self._send_json(200, service.status(m.group(1)))
+                elif m and m.group(2) == "/result":
+                    self._send_json(200, service.result(m.group(1)))
+                else:
+                    self._send_json(404, {"error": "no such route"})
+        except JobNotFound:
+            self._send_json(404, {"error": "no such job"})
+        except JobNotFinished as exc:
+            self._send_json(409, {"error": "job not finished",
+                                  "state": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - never kill the server
+            self._send_json(500, {"error": repr(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.service
+        try:
+            if self.path == "/jobs":
+                job, deduplicated = service.submit(self._read_body())
+                self._send_json(
+                    200 if deduplicated else 202,
+                    {**job.status_payload(), "deduplicated": deduplicated},
+                )
+                return
+            m = _JOB_PATH.match(self.path)
+            if m and m.group(2) == "/cancel":
+                self._send_json(202, service.cancel(m.group(1)))
+            else:
+                self._send_json(404, {"error": "no such route"})
+        except JobValidationError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except AdmissionError as exc:
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(int(exc.retry_after + 0.5))
+            self._send_json(
+                exc.status,
+                {"error": exc.reason, "detail": exc.detail},
+                headers,
+            )
+        except JobNotFound:
+            self._send_json(404, {"error": "no such job"})
+        except Exception as exc:  # noqa: BLE001 - never kill the server
+            self._send_json(500, {"error": repr(exc)})
+
+
+def make_http_server(
+    service: EnumerationService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Bind the HTTP surface (port 0 = ephemeral; see ``server_address``)."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    httpd = ThreadingHTTPServer((host, port), handler)
+    httpd.daemon_threads = True
+    return httpd
+
+
+def run_server(
+    config: ServiceConfig, host: str = "127.0.0.1", port: int = 0
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain cleanly.
+
+    Writes the bound port to ``<state_dir>/serve.port`` so callers using
+    an ephemeral port (tests, the CI smoke) can find the server.
+    """
+    service = EnumerationService(config)
+    httpd = make_http_server(service, host, port)
+    bound_port = httpd.server_address[1]
+    port_file = os.path.join(config.state_dir, "serve.port")
+    with open(port_file, "w", encoding="utf-8") as handle:
+        handle.write(f"{bound_port}\n")
+
+    stop = threading.Event()
+
+    def _on_signal(signum, _frame):
+        print(f"serve: received signal {signum}, draining", flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    service.start()
+    http_thread = threading.Thread(
+        target=httpd.serve_forever, kwargs={"poll_interval": 0.1},
+        daemon=True,
+    )
+    http_thread.start()
+    print(
+        f"serve: listening on http://{host}:{bound_port} "
+        f"(state: {config.state_dir})",
+        flush=True,
+    )
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        httpd.shutdown()
+        service.drain()
+        try:
+            os.remove(port_file)
+        except OSError:
+            pass
+    print("serve: drained, exiting", flush=True)
+    return 0

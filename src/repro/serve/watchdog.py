@@ -1,0 +1,184 @@
+"""Memory watchdog: degrade result handling instead of dying on OOM.
+
+A collecting job holds every biclique in RAM; on a biclique-rich input
+that is the service's OOM vector.  The watchdog rides the per-result
+hook (:meth:`repro.core.base.MBEAlgorithm.run` ``on_biclique``) and
+walks a one-way degradation ladder::
+
+    collect  --soft limit-->  spool  --hard limit-->  count
+
+* **collect** — bicliques accumulate in RAM (results served inline).
+* **spool** — the accumulated list is flushed to a
+  :class:`repro.core.io_results.BicliqueWriter` file in the job
+  directory, the list is freed, and every further result streams to
+  disk (results served from the file).
+* **count** — the spool has hit its own byte cap; storage stops
+  entirely and only the count keeps advancing (results report
+  ``truncated``).
+
+Trips fire on whichever bound is hit first: resident-set size (read
+from ``/proc/self/status``, probed every ``probe_every`` results) or
+the structural caps (results-in-RAM / spool bytes), which also protect
+platforms without an RSS probe.  The ladder never climbs back up — a
+job that outgrew RAM once would just thrash doing so again.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.core.base import Biclique
+from repro.core.io_results import BicliqueWriter
+
+__all__ = ["DegradableCollector", "MemoryWatchdog", "read_rss_bytes"]
+
+COLLECT, SPOOL, COUNT = "collect", "spool", "count"
+
+#: Ladder order, used by tests and metrics.
+MODES = (COLLECT, SPOOL, COUNT)
+
+
+def read_rss_bytes() -> int | None:
+    """Resident-set size of this process, or None when unknowable.
+
+    Reads ``/proc/self/status`` (Linux); other platforms return None and
+    the watchdog falls back to its structural caps.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+class MemoryWatchdog:
+    """Decides *when* to degrade; the collector decides *how*.
+
+    ``soft_limit_bytes`` trips collect→spool, ``hard_limit_bytes`` trips
+    spool→count.  ``max_in_ram`` / ``max_spool_bytes`` are the
+    RSS-independent structural caps.  ``probe`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        soft_limit_bytes: int | None = None,
+        hard_limit_bytes: int | None = None,
+        max_in_ram: int = 200_000,
+        max_spool_bytes: int = 256 * 1024 * 1024,
+        probe: Callable[[], int | None] = read_rss_bytes,
+        probe_every: int = 4096,
+    ):
+        if soft_limit_bytes is not None and hard_limit_bytes is not None:
+            if hard_limit_bytes <= soft_limit_bytes:
+                raise ValueError("hard limit must exceed the soft limit")
+        if max_in_ram < 1 or max_spool_bytes < 1:
+            raise ValueError("structural caps must be positive")
+        self.soft_limit_bytes = soft_limit_bytes
+        self.hard_limit_bytes = hard_limit_bytes
+        self.max_in_ram = max_in_ram
+        self.max_spool_bytes = max_spool_bytes
+        self.probe = probe
+        self.probe_every = max(1, probe_every)
+        self._since_probe = 0
+        self._rss = None
+
+    def _probe_rss(self) -> int | None:
+        self._since_probe += 1
+        if self._rss is None or self._since_probe >= self.probe_every:
+            self._since_probe = 0
+            self._rss = self.probe()
+        return self._rss
+
+    def should_spool(self, in_ram: int) -> bool:
+        """True when the collect mode must degrade to spooling."""
+        if in_ram >= self.max_in_ram:
+            return True
+        if self.soft_limit_bytes is not None:
+            rss = self._probe_rss()
+            if rss is not None and rss >= self.soft_limit_bytes:
+                return True
+        return False
+
+    def should_count_only(self, spool_bytes: int) -> bool:
+        """True when spooling must degrade to count-only."""
+        if spool_bytes >= self.max_spool_bytes:
+            return True
+        if self.hard_limit_bytes is not None:
+            rss = self._probe_rss()
+            if rss is not None and rss >= self.hard_limit_bytes:
+                return True
+        return False
+
+
+class DegradableCollector:
+    """The ``on_biclique`` hook that walks the degradation ladder.
+
+    Constructed per job attempt; ``finish()`` returns what survived and
+    where.  ``on_degrade(mode)`` fires at each trip so the service can
+    count degradations and journal them.
+    """
+
+    def __init__(
+        self,
+        spool_path: str | os.PathLike[str],
+        watchdog: MemoryWatchdog,
+        collect: bool = True,
+        on_degrade: Callable[[str], None] | None = None,
+    ):
+        self.spool_path = os.fspath(spool_path)
+        self.watchdog = watchdog
+        self.mode = COLLECT if collect else COUNT
+        self.count = 0
+        self.results: list[Biclique] = []
+        self._writer: BicliqueWriter | None = None
+        self._on_degrade = on_degrade
+        self.truncated = False
+
+    def __call__(self, b: Biclique) -> None:
+        self.count += 1
+        if self.mode == COLLECT:
+            self.results.append(b)
+            if self.watchdog.should_spool(len(self.results)):
+                self._degrade_to_spool()
+        elif self.mode == SPOOL:
+            assert self._writer is not None
+            self._writer.write(b)
+            if self.watchdog.should_count_only(self._writer.bytes_written):
+                self._degrade_to_count()
+
+    def _degrade_to_spool(self) -> None:
+        self._writer = BicliqueWriter(self.spool_path)
+        self._writer.write_all(self.results)
+        self.results = []
+        self.mode = SPOOL
+        if self._on_degrade is not None:
+            self._on_degrade(SPOOL)
+        # the dump itself may already bust the spool cap
+        if self.watchdog.should_count_only(self._writer.bytes_written):
+            self._degrade_to_count()
+
+    def _degrade_to_count(self) -> None:
+        assert self._writer is not None
+        self._writer.close()
+        self.mode = COUNT
+        self.truncated = True
+        if self._on_degrade is not None:
+            self._on_degrade(COUNT)
+
+    def finish(self) -> dict:
+        """Close any spool and describe the outcome for the job summary."""
+        if self._writer is not None and self.mode == SPOOL:
+            self._writer.close()
+        out: dict = {"mode": self.mode, "count": self.count}
+        if self.mode == COLLECT:
+            out["stored"] = len(self.results)
+        elif self._writer is not None:
+            out["stored"] = self._writer.count
+            out["spool_path"] = self.spool_path
+        if self.truncated:
+            out["truncated"] = True
+        return out

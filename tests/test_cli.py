@@ -35,6 +35,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--dataset", "mti", "-a", "x"])
 
+    def test_serve_requires_state_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--state-dir", "/tmp/x"])
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.queue_depth == 16
+        assert args.allow_faults is False
+
 
 class TestRunCommand:
     def test_run_on_file(self, g0_file, capsys):
@@ -80,6 +91,53 @@ class TestRunCommand:
     def test_run_dataset(self, capsys):
         assert main(["run", "--dataset", "mti", "-a", "mbet"]) == 0
         assert "mti" in capsys.readouterr().out
+
+
+class TestRunSignals:
+    """``repro run`` turns SIGINT/SIGTERM into a graceful partial stop."""
+
+    def _spawn_run(self, tmp_path, *extra):
+        import os
+        import subprocess
+        import sys
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        # a dense random graph whose enumeration runs for minutes — the
+        # signal must cut it short within a couple of budget checks
+        graph = tmp_path / "dense.txt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(repo, "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        subprocess.run(
+            [sys.executable, "-m", "repro", "generate", "--kind", "random",
+             "--n-u", "70", "--n-v", "70", "--p", "0.4", "--seed", "7",
+             "-o", str(graph)],
+            cwd=repo, env=env, check=True, capture_output=True,
+        )
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "run", "--input", str(graph),
+             "-a", "mbet", *extra],
+            cwd=repo, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+
+    @pytest.mark.parametrize("signame", ["SIGINT", "SIGTERM"])
+    def test_signal_yields_partial_results_and_exit_130(
+        self, tmp_path, signame
+    ):
+        import signal as signal_mod
+        import time
+
+        proc = self._spawn_run(tmp_path, "-o", str(tmp_path / "out.tsv"))
+        time.sleep(1.0)  # let enumeration get going
+        proc.send_signal(getattr(signal_mod, signame))
+        out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 130, out
+        assert "interrupted" in out
+        assert "partial" in out
+        # partial results were still written
+        assert (tmp_path / "out.tsv").exists()
 
 
 class TestRunObservability:

@@ -154,6 +154,42 @@ class TestCorruptFixtures:
             read_edge_list(path, fmt="plain")
 
 
+class TestGzip:
+    """Transparent .gz compression on both the read and write paths."""
+
+    def test_roundtrip_through_gzip(self, tmp_path, g_small):
+        path = tmp_path / "edges.txt.gz"
+        write_edge_list(g_small, path, fmt="plain")
+        assert read_edge_list(path, fmt="plain") == g_small
+
+    def test_written_file_is_actually_gzipped(self, tmp_path, g_small):
+        path = tmp_path / "edges.txt.gz"
+        write_edge_list(g_small, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+
+    def test_konect_roundtrip_through_gzip(self, tmp_path, g_small):
+        path = tmp_path / "out.konect.gz"
+        write_edge_list(g_small, path, fmt="konect", header=["bip"])
+        assert read_edge_list(path, fmt="konect") == g_small
+
+    def test_not_a_gzip_archive_names_the_path(self, tmp_path):
+        from repro.bigraph.io import GraphFormatError
+
+        path = tmp_path / "fake.gz"
+        path.write_bytes(b"plain text pretending to be gzip")
+        with pytest.raises(GraphFormatError, match="fake.gz"):
+            read_edge_list(path)
+
+    def test_truncated_archive_reported(self, tmp_path, g_small):
+        from repro.bigraph.io import GraphFormatError
+
+        path = tmp_path / "cut.gz"
+        write_edge_list(g_small, path)
+        path.write_bytes(path.read_bytes()[:-5])  # chop the gzip trailer
+        with pytest.raises(GraphFormatError, match="truncated|archive"):
+            read_edge_list(path)
+
+
 class TestCompact:
     def test_compact_drops_gaps(self, tmp_path):
         path = tmp_path / "x"

@@ -206,6 +206,69 @@ class TestCheckpointFile:
         with pytest.raises(CheckpointError, match="malformed"):
             load_checkpoint(path)
 
+    def test_midfile_error_carries_file_and_line(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        writer = CheckpointWriter(path, self.FP)
+        writer.record((4, 0, 1), 2, {}, None)
+        writer.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, '{"half a record')
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(CheckpointError, match=r"run\.ckpt:2:"):
+            load_checkpoint(path)
+
+    def test_torn_tail_tolerated_but_same_damage_midfile_is_not(
+        self, tmp_path
+    ):
+        # the same byte damage is recoverable at the tail (a torn final
+        # write) and fatal anywhere else — the distinction under test
+        damage = '{"type":"task","key":"9:0'
+        path = tmp_path / "run.ckpt"
+        writer = CheckpointWriter(path, self.FP)
+        writer.record((4, 0, 1), 2, {}, None)
+        writer.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(damage)
+        assert set(load_checkpoint(path).records) == {"4:0:1"}  # tail: ok
+        with open(path, "a", encoding="utf-8") as handle:
+            # a later write landed after the damage: now it is mid-file
+            handle.write('\n{"type":"task","key":"5:0:1","task":[5,0,1],'
+                         '"count":0,"stats":{},"bicliques":null}\n')
+        with pytest.raises(CheckpointError, match="mid-file"):
+            load_checkpoint(path)
+
+    def test_non_object_record_rejected_even_at_the_tail(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointWriter(path, self.FP).close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("[1, 2, 3]\n")
+        with pytest.raises(CheckpointError, match="not a JSON object"):
+            load_checkpoint(path)
+
+    @pytest.mark.parametrize("mutation,match", [
+        ({"count": "two"}, "count"),
+        ({"count": -1}, "count"),
+        ({"stats": None}, "stats"),
+        ({"task": [4, 0]}, "triple"),
+        ({"key": None}, "key"),
+        ({"bicliques": [[1, 2, 3]]}, "pairs"),
+    ])
+    def test_mistyped_task_fields_rejected_with_location(
+        self, tmp_path, mutation, match
+    ):
+        path = tmp_path / "run.ckpt"
+        writer = CheckpointWriter(path, self.FP)
+        writer.record((4, 0, 1), 2, {}, None)
+        writer.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        rec = json.loads(lines[1])
+        rec.update(mutation)
+        lines[1] = json.dumps(rec)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(CheckpointError, match=match) as exc:
+            load_checkpoint(path)
+        assert ":2:" in str(exc.value)
+
     def test_fingerprint_mismatch_names_fields(self, tmp_path):
         path = tmp_path / "run.ckpt"
         CheckpointWriter(path, self.FP).close()

@@ -1,0 +1,788 @@
+"""Tests for the embedded enumeration service (repro.serve).
+
+Unit-tests the breaker and watchdog state machines, admission control,
+and the job journal; service-level tests run jobs in-process; the
+integration tests at the bottom boot the real server in a subprocess and
+exercise SIGTERM drain and the kill -9 → restart → journal-resume path
+the whole subsystem exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import BipartiteGraph, run_mbe
+from repro.bigraph.generators import planted_bicliques
+from repro.core.base import ALGORITHMS, MBEAlgorithm, register
+from repro.core.io_results import read_bicliques
+from repro.obs.sinks import parse_prometheus_text
+from repro.serve import (
+    AdmissionError,
+    BoundedJobQueue,
+    BreakerOpen,
+    CircuitBreaker,
+    DegradableCollector,
+    EnumerationService,
+    JobJournal,
+    JobSpec,
+    JobValidationError,
+    JournalError,
+    MemoryWatchdog,
+    ServiceConfig,
+    estimate_cost,
+    load_journal,
+    make_http_server,
+)
+from repro.serve.jobs import Job
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+EDGES = [[0, 0], [0, 1], [1, 0], [1, 1], [2, 1]]
+
+
+def _expected_set(edges=EDGES, **kw):
+    result = run_mbe(BipartiteGraph([tuple(e) for e in edges]), "mbet", **kw)
+    return {(b.left, b.right) for b in result.bicliques}
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# --------------------------------------------------------------------------
+# circuit breaker state machine
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        clock = FakeClock()
+        kw.setdefault("failure_threshold", 3)
+        kw.setdefault("cooldown", 10.0)
+        return CircuitBreaker("eng", clock=clock, **kw), clock
+
+    def test_starts_closed_and_admits(self):
+        b, _ = self._breaker()
+        assert b.state == "closed"
+        b.acquire()  # no raise
+
+    def test_failures_below_threshold_stay_closed(self):
+        b, _ = self._breaker()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+
+    def test_threshold_failures_trip_open(self):
+        b, _ = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == "open"
+        with pytest.raises(BreakerOpen, match="eng"):
+            b.acquire()
+
+    def test_success_resets_failure_count(self):
+        b, _ = self._breaker()
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+
+    def test_cooldown_promotes_to_half_open_single_probe(self):
+        b, clock = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.state == "half_open"
+        b.acquire()  # the probe gets through
+        with pytest.raises(BreakerOpen, match="probe"):
+            b.acquire()  # a concurrent caller does not
+
+    def test_probe_success_closes(self):
+        b, clock = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        b.acquire()
+        b.record_success()
+        assert b.state == "closed"
+        b.acquire()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        b, clock = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        b.acquire()
+        b.record_failure()
+        assert b.state == "open"
+        clock.advance(9.9)
+        assert b.state == "open"
+        clock.advance(0.1)
+        assert b.state == "half_open"
+
+    def test_transition_callback_fires(self):
+        seen = []
+        clock = FakeClock()
+        b = CircuitBreaker(
+            "eng", failure_threshold=1, cooldown=5.0, clock=clock,
+            on_transition=lambda name, frm, to: seen.append((frm, to)),
+        )
+        b.record_failure()
+        clock.advance(5.0)
+        _ = b.state
+        b.record_success()
+        assert seen == [("closed", "open"), ("open", "half_open"),
+                        ("half_open", "closed")]
+
+
+# --------------------------------------------------------------------------
+# memory watchdog degradation ladder
+
+
+def _bicliques(n):
+    g = BipartiteGraph([(i, 0) for i in range(max(2, n))])
+    result = run_mbe(g, "mbet")
+    from repro.core.base import Biclique
+
+    return [Biclique.make([i], [0]) for i in range(n)] or result.bicliques
+
+
+class TestWatchdogLadder:
+    def test_collect_stays_collect_under_caps(self, tmp_path):
+        wd = MemoryWatchdog(max_in_ram=100)
+        col = DegradableCollector(tmp_path / "spool.jsonl", wd)
+        for b in _bicliques(5):
+            col(b)
+        out = col.finish()
+        assert out == {"mode": "collect", "count": 5, "stored": 5}
+        assert not (tmp_path / "spool.jsonl").exists()
+
+    def test_collect_degrades_to_spool_keeping_every_result(self, tmp_path):
+        wd = MemoryWatchdog(max_in_ram=3)
+        trips = []
+        col = DegradableCollector(
+            tmp_path / "spool.jsonl", wd, on_degrade=trips.append
+        )
+        items = _bicliques(7)
+        for b in items:
+            col(b)
+        out = col.finish()
+        assert col.mode == "spool" and trips == ["spool"]
+        assert out["count"] == 7 and out["stored"] == 7
+        stored = read_bicliques(tmp_path / "spool.jsonl")
+        assert {(b.left, b.right) for b in stored} == {
+            (b.left, b.right) for b in items
+        }
+        assert col.results == []  # RAM actually freed
+
+    def test_spool_degrades_to_count_only(self, tmp_path):
+        wd = MemoryWatchdog(max_in_ram=2, max_spool_bytes=30)
+        trips = []
+        col = DegradableCollector(
+            tmp_path / "spool.jsonl", wd, on_degrade=trips.append
+        )
+        for b in _bicliques(50):
+            col(b)
+        out = col.finish()
+        assert col.mode == "count" and trips == ["spool", "count"]
+        assert out["count"] == 50  # counting never stops
+        assert out["truncated"] is True
+        assert out["stored"] < 50
+
+    def test_rss_probe_trips_soft_limit(self, tmp_path):
+        rss = [100]
+        wd = MemoryWatchdog(
+            soft_limit_bytes=1000, hard_limit_bytes=2000,
+            probe=lambda: rss[0], probe_every=1,
+        )
+        assert not wd.should_spool(in_ram=1)
+        rss[0] = 1000
+        assert wd.should_spool(in_ram=1)
+
+    def test_collect_false_starts_in_count_mode(self, tmp_path):
+        wd = MemoryWatchdog()
+        col = DegradableCollector(tmp_path / "s", wd, collect=False)
+        for b in _bicliques(4):
+            col(b)
+        out = col.finish()
+        assert out == {"mode": "count", "count": 4}
+
+    def test_ladder_never_climbs_back(self, tmp_path):
+        wd = MemoryWatchdog(max_in_ram=2)
+        col = DegradableCollector(tmp_path / "s", wd)
+        for b in _bicliques(3):
+            col(b)
+        assert col.mode == "spool"
+        wd.max_in_ram = 100  # even if pressure vanishes
+        for b in _bicliques(2):
+            col(b)
+        assert col.mode == "spool"
+
+
+# --------------------------------------------------------------------------
+# admission queue
+
+
+def _job(i=0):
+    return Job(job_id=f"j-{i}", spec=JobSpec(edges=EDGES))
+
+
+class TestBoundedJobQueue:
+    def test_fifo(self):
+        q = BoundedJobQueue(max_depth=4)
+        q.put(_job(1))
+        q.put(_job(2))
+        assert q.get(timeout=0.1).job_id == "j-1"
+        assert q.get(timeout=0.1).job_id == "j-2"
+
+    def test_depth_limit_rejects_with_retry_after(self):
+        q = BoundedJobQueue(max_depth=1)
+        q.put(_job(1))
+        with pytest.raises(AdmissionError) as exc:
+            q.put(_job(2))
+        assert exc.value.status == 429
+        assert exc.value.retry_after >= 1.0
+
+    def test_closed_queue_rejects_as_draining(self):
+        q = BoundedJobQueue()
+        q.close()
+        with pytest.raises(AdmissionError) as exc:
+            q.put(_job())
+        assert exc.value.status == 503
+
+    def test_recovered_jobs_bypass_the_depth_gate(self):
+        q = BoundedJobQueue(max_depth=1)
+        q.put(_job(1))
+        q.put_recovered(_job(2))
+        assert q.depth == 2
+
+    def test_remove_cancels_a_queued_job(self):
+        q = BoundedJobQueue()
+        q.put(_job(1))
+        assert q.remove("j-1").job_id == "j-1"
+        assert q.remove("j-1") is None
+        assert q.get(timeout=0.05) is None
+
+    def test_estimate_cost_grows_with_the_graph(self):
+        small = BipartiteGraph([(0, 0), (1, 1)])
+        dense = BipartiteGraph([(u, v) for u in range(6) for v in range(6)])
+        assert 0 < estimate_cost(small) < estimate_cost(dense)
+
+
+# --------------------------------------------------------------------------
+# job spec validation
+
+
+class TestJobSpec:
+    def test_roundtrip(self):
+        spec = JobSpec(engine="mbet", edges=EDGES, min_left=2,
+                       idempotency_key="k1")
+        assert JobSpec.from_dict(spec.as_dict()) == spec
+
+    @pytest.mark.parametrize("payload,match", [
+        ({}, "exactly one of"),
+        ({"dataset": "mti", "edges": EDGES}, "exactly one of"),
+        ({"edges": []}, "non-empty"),
+        ({"edges": [[0]]}, "pairs"),
+        ({"edges": [[0, -1]]}, "pairs"),
+        ({"edges": EDGES, "min_left": 0}, "thresholds"),
+        ({"edges": EDGES, "time_limit": -1}, "time_limit"),
+        ({"edges": EDGES, "bogus_field": 1}, "unknown job spec"),
+        ("not a dict", "JSON object"),
+    ])
+    def test_invalid_specs_rejected(self, payload, match):
+        with pytest.raises(JobValidationError, match=match):
+            JobSpec.from_dict(payload)
+
+
+# --------------------------------------------------------------------------
+# job journal
+
+
+class TestJobJournal:
+    def test_replay_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = Job(job_id="j-1", spec=JobSpec(edges=EDGES,
+                                             idempotency_key="key-1"))
+        journal.record_event(job, "submitted")
+        journal.record_event(job, "started")
+        journal.record_event(job, "done", summary={"count": 2})
+        journal.close()
+        state = load_journal(path)
+        assert state["j-1"]["event"] == "done"
+        assert state["j-1"]["summary"] == {"count": 2}
+        assert state["j-1"]["spec"]["edges"] == EDGES
+
+    def test_inflight_jobs_are_resumable_terminal_are_not(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        running = Job(job_id="j-run", spec=JobSpec(edges=EDGES))
+        finished = Job(job_id="j-done", spec=JobSpec(edges=EDGES))
+        journal.record_event(running, "submitted")
+        journal.record_event(running, "started")
+        journal.record_event(finished, "submitted")
+        journal.record_event(finished, "done")
+        journal.close()
+        reopened = JobJournal(path)
+        resumable = reopened.resumable_jobs()
+        assert [j.job_id for j in resumable] == ["j-run"]
+        assert resumable[0].recovered
+        reopened.close()
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = Job(job_id="j-1", spec=JobSpec(edges=EDGES))
+        journal.record_event(job, "submitted")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"job","event":"done","jo')  # torn write
+        state = load_journal(path)
+        assert state["j-1"]["event"] == "submitted"
+
+    def test_reopen_after_torn_tail_keeps_appending_safely(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = Job(job_id="j-1", spec=JobSpec(edges=EDGES))
+        journal.record_event(job, "submitted")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        reopened = JobJournal(path)  # must newline-terminate the tear
+        reopened.record_event(job, "started")
+        reopened.close()
+        state = load_journal(path)
+        assert state["j-1"]["event"] == "started"
+
+    def test_midfile_corruption_raises_with_location(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = Job(job_id="j-1", spec=JobSpec(edges=EDGES))
+        journal.record_event(job, "submitted")
+        journal.close()
+        lines = path.read_text().splitlines()
+        path.write_text("garbage\n" + "\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match=r":1:"):
+            load_journal(path)
+
+    def test_idempotency_index(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        job = Job(job_id="j-1",
+                  spec=JobSpec(edges=EDGES, idempotency_key="alpha"))
+        journal.record_event(job, "submitted")
+        journal.record_event(job, "done")
+        journal.close()
+        assert JobJournal(path).idempotency_index() == {"alpha": "j-1"}
+
+
+# --------------------------------------------------------------------------
+# service core (in-process)
+
+
+class _CrashyMBE(MBEAlgorithm):
+    """Synthetic always-crashing engine for breaker/fallback tests."""
+
+    name = "crashy_test_engine"
+
+    def _enumerate(self, graph, report, stats):
+        raise RuntimeError("synthetic engine crash")
+
+
+@pytest.fixture(autouse=True)
+def crashy_engine():
+    """Register the synthetic engine for this module only.
+
+    A module-level ``register`` would leak it into
+    ``available_algorithms()`` and trip the README doc-drift guard.
+    """
+    fresh = _CrashyMBE.name not in ALGORITHMS
+    if fresh:
+        register(_CrashyMBE)
+    yield
+    if fresh:
+        ALGORITHMS.pop(_CrashyMBE.name, None)
+
+
+def _make_service(tmp_path, start=True, **cfg):
+    cfg.setdefault("workers", 1)
+    service = EnumerationService(
+        ServiceConfig(state_dir=str(tmp_path / "state"), **cfg)
+    )
+    if start:
+        service.start()
+    return service
+
+
+def _wait_terminal(service, job_id, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = service.status(job_id)["state"]
+        if state in ("done", "failed", "cancelled"):
+            return state
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} did not finish: {state}")
+
+
+class TestEnumerationService:
+    def test_job_runs_to_done_with_exact_results(self, tmp_path):
+        service = _make_service(tmp_path)
+        try:
+            job, dedup = service.submit({"engine": "mbet", "edges": EDGES})
+            assert not dedup
+            assert _wait_terminal(service, job.job_id) == "done"
+            payload = service.result(job.job_id)
+            got = {
+                (tuple(left), tuple(right))
+                for left, right in payload["bicliques"]
+            }
+            assert got == _expected_set()
+            assert payload["summary"]["engine"] == "mbet"
+            assert payload["summary"]["complete"] is True
+        finally:
+            service.drain(timeout=2)
+
+    def test_idempotency_key_deduplicates(self, tmp_path):
+        service = _make_service(tmp_path)
+        try:
+            spec = {"engine": "mbet", "edges": EDGES,
+                    "idempotency_key": "same"}
+            first, dedup1 = service.submit(spec)
+            _wait_terminal(service, first.job_id)
+            second, dedup2 = service.submit(spec)
+            assert (dedup1, dedup2) == (False, True)
+            assert second.job_id == first.job_id
+        finally:
+            service.drain(timeout=2)
+
+    def test_cost_gate_rejects_permanently(self, tmp_path):
+        service = _make_service(tmp_path, start=False, max_cost=1)
+        try:
+            with pytest.raises(AdmissionError) as exc:
+                service.submit({"engine": "mbet", "edges": EDGES})
+            assert exc.value.status == 413
+            assert exc.value.retry_after is None  # retrying will not help
+        finally:
+            service.drain(timeout=1)
+
+    def test_queue_full_rejects_transiently(self, tmp_path):
+        service = _make_service(tmp_path, start=False, max_queue_depth=1)
+        try:
+            service.submit({"engine": "mbet", "edges": EDGES})
+            with pytest.raises(AdmissionError) as exc:
+                service.submit({"engine": "mbet", "edges": EDGES})
+            assert exc.value.status == 429
+            assert exc.value.retry_after is not None
+        finally:
+            service.drain(timeout=1)
+
+    def test_cancel_queued_job(self, tmp_path):
+        service = _make_service(tmp_path, start=False)
+        try:
+            job, _ = service.submit({"engine": "mbet", "edges": EDGES})
+            payload = service.cancel(job.job_id)
+            assert payload["state"] == "cancelled"
+        finally:
+            service.drain(timeout=1)
+
+    def test_unknown_engine_rejected_up_front(self, tmp_path):
+        service = _make_service(tmp_path, start=False)
+        try:
+            with pytest.raises(JobValidationError, match="unknown engine"):
+                service.submit({"engine": "no_such", "edges": EDGES})
+        finally:
+            service.drain(timeout=1)
+
+    def test_crash_looping_engine_trips_breaker_and_falls_back(
+        self, tmp_path
+    ):
+        service = _make_service(
+            tmp_path, breaker_threshold=2, breaker_cooldown=60.0
+        )
+        try:
+            spec = {"engine": _CrashyMBE.name, "edges": EDGES}
+            jobs = []
+            for _ in range(3):
+                job, _ = service.submit(spec)
+                assert _wait_terminal(service, job.job_id) == "done"
+                jobs.append(service.result(job.job_id))
+            for payload in jobs:
+                # every job succeeded via the fallback chain, exactly
+                assert payload["summary"]["engine"] == "mbet_vec"
+                got = {
+                    (tuple(left), tuple(right))
+                    for left, right in payload["bicliques"]
+                }
+                assert got == _expected_set()
+            # first two jobs burned real attempts, tripping the breaker
+            assert service.breakers.breaker(_CrashyMBE.name).state == "open"
+            # the third never attempted the poisoned engine
+            why = jobs[2]["summary"]["fallbacks"][0]["why"]
+            assert "breaker open" in why
+        finally:
+            service.drain(timeout=2)
+
+    def test_watchdog_degrades_but_results_stay_exact(self, tmp_path):
+        service = _make_service(tmp_path, max_in_ram=2)
+        try:
+            job, _ = service.submit({"engine": "mbet", "edges": EDGES})
+            assert _wait_terminal(service, job.job_id) == "done"
+            payload = service.result(job.job_id)
+            assert payload["summary"]["results"]["mode"] == "spool"
+            got = {
+                (tuple(left), tuple(right))
+                for left, right in payload["bicliques"]
+            }
+            assert got == _expected_set()
+        finally:
+            service.drain(timeout=2)
+
+    def test_journal_resume_recovers_an_unstarted_job(self, tmp_path):
+        first = _make_service(tmp_path, start=False)
+        job, _ = first.submit({"engine": "mbet", "edges": EDGES,
+                               "idempotency_key": "re"})
+        first.journal.close()  # crash: no drain, no terminal record
+
+        second = _make_service(tmp_path)
+        try:
+            status = second.status(job.job_id)
+            assert status["recovered"] is True
+            assert _wait_terminal(second, job.job_id) == "done"
+            got = {
+                (tuple(left), tuple(right))
+                for left, right in second.result(job.job_id)["bicliques"]
+            }
+            assert got == _expected_set()
+            # the idempotency key survived the restart too
+            again, dedup = second.submit({"engine": "mbet", "edges": EDGES,
+                                          "idempotency_key": "re"})
+            assert dedup and again.job_id == job.job_id
+        finally:
+            second.drain(timeout=2)
+
+
+# --------------------------------------------------------------------------
+# HTTP surface (in-process server)
+
+
+class _Client:
+    def __init__(self, port):
+        self.base = f"http://127.0.0.1:{port}"
+
+    def request(self, method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(self.base + path, data=data,
+                                     method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def text(self, path):
+        with urllib.request.urlopen(self.base + path, timeout=10) as resp:
+            return resp.read().decode()
+
+
+@pytest.fixture
+def http_service(tmp_path):
+    service = _make_service(tmp_path)
+    httpd = make_http_server(service)
+    thread = threading.Thread(
+        target=httpd.serve_forever, kwargs={"poll_interval": 0.05},
+        daemon=True,
+    )
+    thread.start()
+    yield service, _Client(httpd.server_address[1])
+    httpd.shutdown()
+    service.drain(timeout=2)
+
+
+class TestHTTPSurface:
+    def test_submit_poll_result_metrics(self, http_service):
+        service, client = http_service
+        assert client.request("GET", "/healthz")[0] == 200
+        assert client.request("GET", "/readyz")[0] == 200
+        status, payload = client.request(
+            "POST", "/jobs", {"engine": "mbet", "edges": EDGES}
+        )
+        assert status == 202
+        job_id = payload["job_id"]
+        _wait_terminal(service, job_id)
+        status, result = client.request("GET", f"/jobs/{job_id}/result")
+        assert status == 200
+        got = {(tuple(a), tuple(b)) for a, b in result["bicliques"]}
+        assert got == _expected_set()
+        samples = parse_prometheus_text(client.text("/metrics"))
+        assert samples['serve_jobs_total{event="done"}'] >= 1
+        assert samples["serve_queue_depth"] == 0
+
+    def test_error_statuses(self, http_service):
+        _service, client = http_service
+        assert client.request("POST", "/jobs", {"edges": []})[0] == 400
+        assert client.request("GET", "/jobs/j-nope")[0] == 404
+        assert client.request("GET", "/nothing")[0] == 404
+
+    def test_result_before_terminal_is_409(self, tmp_path):
+        service = _make_service(tmp_path, start=False)  # nothing runs
+        httpd = make_http_server(service)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05}, daemon=True)
+        thread.start()
+        client = _Client(httpd.server_address[1])
+        try:
+            _, payload = client.request(
+                "POST", "/jobs", {"engine": "mbet", "edges": EDGES}
+            )
+            status, _ = client.request(
+                "GET", f"/jobs/{payload['job_id']}/result"
+            )
+            assert status == 409
+        finally:
+            httpd.shutdown()
+            service.drain(timeout=1)
+
+
+# --------------------------------------------------------------------------
+# full-process integration: drain and kill -9 resume
+
+
+def _boot_server(state_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src")
+        + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    port_file = os.path.join(str(state_dir), "serve.port")
+    if os.path.exists(port_file):  # stale from a kill -9'd previous life
+        os.remove(port_file)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", str(state_dir), "--port", "0", *extra],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server died on boot: {proc.stdout.read()}"
+            )
+        if os.path.exists(port_file):
+            text = open(port_file).read().strip()
+            if text:
+                return proc, int(text)
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("server never wrote its port file")
+
+
+def _poll_until(client, job_id, states, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = client.request("GET", f"/jobs/{job_id}")
+        if status == 200 and payload["state"] in states:
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"job never reached {states}: {payload}")
+
+
+class TestServerProcess:
+    def test_sigterm_drains_cleanly(self, tmp_path):
+        proc, port = _boot_server(tmp_path)
+        client = _Client(port)
+        status, payload = client.request(
+            "POST", "/jobs", {"engine": "mbet", "edges": EDGES}
+        )
+        assert status == 202
+        _poll_until(client, payload["job_id"], {"done"})
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "drained" in out
+
+    def test_kill9_restart_resumes_to_the_exact_result(self, tmp_path):
+        """The acceptance scenario: kill -9 mid-job, restart against the
+        same state dir, and the finished job reports the exact maximal
+        biclique set of an uninterrupted run — no loss, no duplicates."""
+        graph = planted_bicliques(24, 24, 5, noise_edges=40, seed=3)
+        graph_path = tmp_path / "graph.txt"
+        from repro.bigraph.io import write_edge_list
+
+        write_edge_list(graph, graph_path)
+        fresh = run_mbe(graph, "mbet")
+        expected = {(b.left, b.right) for b in fresh.bicliques}
+
+        state_dir = tmp_path / "state"
+        proc, port = _boot_server(state_dir, "--workers", "1",
+                                  "--allow-faults")
+        client = _Client(port)
+        # the parallel engine checkpoints per task; slow-inject every
+        # task so the kill deterministically lands mid-job
+        status, payload = client.request("POST", "/jobs", {
+            "engine": "parallel",
+            "graph_path": str(graph_path),
+            "engine_options": {"workers": 1, "seed": 0},
+            "faults": {"slow_rate": 1.0, "slow_seconds": 0.06},
+        })
+        assert status == 202, payload
+        job_id = payload["job_id"]
+
+        # wait for the job to be genuinely mid-flight: running, with at
+        # least a couple of tasks checkpointed
+        ckpt = os.path.join(str(state_dir), "jobs", job_id,
+                            "checkpoint.jsonl")
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            mid_flight = (
+                os.path.exists(ckpt)
+                and sum(1 for _ in open(ckpt)) >= 3
+            )
+            if mid_flight:
+                break
+            time.sleep(0.02)
+        assert mid_flight, "job never reached mid-flight"
+        proc.kill()  # SIGKILL: no drain, no journal goodbye
+        proc.wait(timeout=10)
+
+        proc2, port2 = _boot_server(state_dir, "--workers", "1",
+                                    "--allow-faults")
+        try:
+            client2 = _Client(port2)
+            payload = _poll_until(client2, job_id, {"done"})
+            assert payload["recovered"] is True
+            # the ">= 3 checkpoint lines" gate above is header + >= 2
+            # task records, so at least those tasks must resume
+            assert payload["summary"]["resumed_tasks"] >= 2
+            status, result = client2.request(
+                "GET", f"/jobs/{job_id}/result"
+            )
+            assert status == 200
+            got = [
+                (tuple(left), tuple(right))
+                for left, right in result["bicliques"]
+            ]
+            assert len(got) == len(set(got))  # no double-reporting
+            assert set(got) == expected  # the exact biclique set
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            proc2.communicate(timeout=30)

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Smoke-test the enumeration service end to end.
+
+Boots ``repro serve`` on an ephemeral port, then exercises the full
+serving story against a live process:
+
+1. health: ``/healthz`` and ``/readyz`` answer 200;
+2. a zoo-dataset job submits (202), polls to ``done``, and its result
+   matches an in-process ``run_mbe`` of the same dataset exactly;
+3. idempotent resubmit returns the same job without re-running (200);
+4. ``/metrics`` parses with :func:`repro.obs.sinks.parse_prometheus_text`
+   and reports the completed job;
+5. SIGTERM drains cleanly: exit code 0 and the drain banner on stdout.
+
+Exits non-zero on the first discrepancy.  Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--dataset NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro import run_mbe
+from repro.datasets import load
+from repro.obs.sinks import parse_prometheus_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def request(base: str, path: str, payload: dict | None = None) -> tuple[int, dict]:
+    req = urllib.request.Request(
+        base + path,
+        data=None if payload is None else json.dumps(payload).encode(),
+        method="GET" if payload is None else "POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="yg")
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args(argv)
+
+    truth = {(b.left, b.right)
+             for b in run_mbe(load(args.dataset), "mbet").biclique_set()}
+    print(f"dataset {args.dataset}: {len(truth)} maximal bicliques expected")
+
+    state_dir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", str(state_dir), "--port", "0", "--workers", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        port_file = state_dir / "serve.port"
+        deadline = time.monotonic() + 30
+        while not port_file.exists():
+            if proc.poll() is not None:
+                fail(f"server died on boot:\n{proc.stdout.read()}")
+            if time.monotonic() > deadline:
+                fail("server never wrote its port file")
+            time.sleep(0.05)
+        base = f"http://127.0.0.1:{int(port_file.read_text())}"
+        print(f"[1/5] server up at {base}, probing health ...")
+        for path in ("/healthz", "/readyz"):
+            status, _ = request(base, path)
+            if status != 200:
+                fail(f"{path} answered {status}")
+
+        print("[2/5] submitting zoo job, polling to completion ...")
+        spec = {"engine": "mbet", "dataset": args.dataset,
+                "idempotency_key": "smoke-1"}
+        status, job = request(base, "/jobs", spec)
+        if status != 202:
+            fail(f"submit answered {status}: {job}")
+        job_id = job["job_id"]
+        deadline = time.monotonic() + args.timeout
+        while True:
+            status, job = request(base, f"/jobs/{job_id}")
+            if job["state"] in ("done", "failed", "cancelled"):
+                break
+            if time.monotonic() > deadline:
+                fail(f"job stuck in state {job['state']}")
+            time.sleep(0.1)
+        if job["state"] != "done":
+            fail(f"job finished {job['state']}: {job}")
+        status, result = request(base, f"/jobs/{job_id}/result")
+        if status != 200:
+            fail(f"result answered {status}")
+        got = {(tuple(b[0]), tuple(b[1])) for b in result["bicliques"]}
+        if got != truth:
+            fail(f"served result differs from run_mbe: "
+                 f"{len(got)} vs {len(truth)} bicliques")
+        print(f"      done via {job['summary']['engine']}: "
+              f"{len(got)} bicliques, exact match")
+
+        print("[3/5] idempotent resubmit ...")
+        status, dup = request(base, "/jobs", spec)
+        if status != 200 or dup["job_id"] != job_id or not dup["deduplicated"]:
+            fail(f"resubmit not deduplicated: {status} {dup}")
+
+        print("[4/5] /metrics parse-back ...")
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+            metrics = parse_prometheus_text(resp.read().decode())
+        done = metrics.get('serve_jobs_total{event="done"}', 0.0)
+        if done < 1:
+            fail(f"serve_jobs_total{{event=done}} missing or zero: {done}")
+        if "serve_queue_depth" not in metrics:
+            fail("serve_queue_depth gauge missing from /metrics")
+
+        print("[5/5] SIGTERM, expecting a clean drain ...")
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+        if proc.returncode != 0:
+            fail(f"server exited {proc.returncode}:\n{out}")
+        if "drained" not in out:
+            fail(f"no drain banner in output:\n{out}")
+        print("      exit 0, drained")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    print("OK: serve smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
