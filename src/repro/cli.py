@@ -4,6 +4,8 @@ Subcommands
 -----------
 ``run``          enumerate maximal bicliques of a zoo dataset or edge list
 ``serve``        run the embedded enumeration service (docs/serving.md)
+``cluster``      coordinate a federated job across serve workers
+                 (docs/cluster.md)
 ``profile``      run one algorithm and print its phase/prune breakdown
 ``fuzz``         differential/metamorphic fuzzing of the engines
                  (docs/testing.md); nonzero exit on counterexample
@@ -220,8 +222,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_time_limit=args.default_time_limit,
         drain_timeout=args.drain_timeout,
         allow_faults=args.allow_faults,
+        default_retry_after=args.retry_after_default,
+        journal_max_bytes=(
+            args.journal_max_mb * mb if args.journal_max_mb else None
+        ),
     )
     return run_server(config, host=args.host, port=args.port)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Coordinate a federated enumeration job over serve workers."""
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+
+    if args.dataset:
+        source = {"dataset": args.dataset}
+    else:
+        source = {"graph_path": args.input, "fmt": args.format}
+    config = ClusterConfig(
+        state_dir=args.state_dir,
+        workers=list(args.worker),
+        n_slices=args.slices,
+        order=args.order,
+        seed=args.seed,
+        min_left=args.min_left,
+        min_right=args.min_right,
+        time_limit=args.time_limit,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_slice_retries=args.max_retries,
+        straggler_factor=args.straggler_factor or None,
+        collect=args.output is not None,
+    )
+    coordinator = ClusterCoordinator(config)
+    import signal as _signal
+
+    def _on_signal(signum, _frame):
+        print(f"cluster: received signal {signum}, draining", file=sys.stderr)
+        coordinator.cancel()
+
+    try:
+        _signal.signal(_signal.SIGTERM, _on_signal)
+        _signal.signal(_signal.SIGINT, _on_signal)
+    except ValueError:
+        pass  # non-main thread (tests): run without graceful interruption
+    try:
+        result = coordinator.run(source)
+    finally:
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(coordinator.metrics_text())
+            print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+        coordinator.close()
+    qualifier = "" if result.complete else "PARTIAL "
+    print(
+        f"{qualifier}federated count: {result.count:,} maximal bicliques "
+        f"in {result.elapsed:.2f}s over {result.meta['slices']} slice(s), "
+        f"{result.meta['completed_slices']} completed"
+    )
+    if not result.complete:
+        print(
+            f"stopped: {result.meta.get('stopped')}; missing root ranges: "
+            f"{result.meta.get('missing_ranges')}",
+            file=sys.stderr,
+        )
+    if args.output and result.bicliques is not None:
+        from repro.core.io_results import write_bicliques
+
+        written = write_bicliques(result.bicliques, args.output)
+        print(f"wrote {written:,} bicliques to {args.output}")
+    if result.meta.get("stopped") == "cancelled":
+        return EXIT_INTERRUPTED
+    return 0 if result.complete else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -680,7 +751,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--allow-faults", action="store_true",
                        help="honour fault-injection specs in jobs "
                             "(chaos testing only)")
+    p_srv.add_argument("--retry-after-default", type=float, default=5.0,
+                       help="Retry-After seconds issued before any job "
+                            "duration has been observed")
+    p_srv.add_argument("--journal-max-mb", type=int, default=4,
+                       help="compact the job journal once it exceeds this "
+                            "size (0 disables size-triggered compaction)")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="federated enumeration across serve workers (docs/cluster.md)",
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command",
+                                           required=True)
+    p_coord = cluster_sub.add_parser(
+        "coordinate",
+        help="shard a job over peer workers and merge the exact result",
+    )
+    add_graph_source(p_coord)
+    p_coord.add_argument("--state-dir", required=True,
+                         help="coordinator journal + result spools; restart "
+                              "against the same directory to resume from "
+                              "completed-slice state")
+    p_coord.add_argument("--worker", action="append", required=True,
+                         help="worker base URL (repeatable), e.g. "
+                              "http://127.0.0.1:8451")
+    p_coord.add_argument("--slices", type=int, default=None,
+                         help="slice count (default: 2 x workers)")
+    p_coord.add_argument("--order", default="degree",
+                         help="root ordering strategy (must match across "
+                              "coordinator and workers)")
+    p_coord.add_argument("--seed", type=int, default=0)
+    p_coord.add_argument("--min-left", type=int, default=1)
+    p_coord.add_argument("--min-right", type=int, default=1)
+    p_coord.add_argument("--time-limit", type=float, default=None,
+                         help="whole-job wall-clock budget; also caps "
+                              "per-slice worker budgets")
+    p_coord.add_argument("--heartbeat-interval", type=float, default=0.5)
+    p_coord.add_argument("--heartbeat-timeout", type=float, default=2.0,
+                         help="silent seconds before a worker is declared "
+                              "dead and its slices reassigned")
+    p_coord.add_argument("--max-retries", type=int, default=4,
+                         help="re-dispatches of one slice before giving up")
+    p_coord.add_argument("--straggler-factor", type=float, default=4.0,
+                         help="re-split an in-flight slice running longer "
+                              "than this multiple of the median; 0 disables")
+    p_coord.add_argument("--output", "-o", default=None,
+                         help="write the merged bicliques to this file")
+    p_coord.add_argument("--metrics-out", default=None,
+                         help="write cluster_* metrics as Prometheus text")
+    p_coord.set_defaults(func=_cmd_cluster)
 
     p_prof = sub.add_parser(
         "profile",

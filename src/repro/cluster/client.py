@@ -1,0 +1,95 @@
+"""Thin stdlib HTTP client for peer ``repro serve`` workers.
+
+Every call returns ``(status, payload)`` for HTTP-level responses (4xx
+and 5xx included — the coordinator's retry policy wants the status, not
+an exception) and raises :class:`WorkerUnreachable` only for
+transport-level failures: connection refused, timeouts, DNS errors.
+``refused`` distinguishes an actively-dead peer (connection refused —
+the process is gone, no point waiting out a heartbeat timeout) from a
+silent one.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+from typing import Any
+
+__all__ = ["WorkerClient", "WorkerUnreachable"]
+
+
+class WorkerUnreachable(ConnectionError):
+    """Transport-level failure talking to a worker."""
+
+    def __init__(self, worker: str, why: str, refused: bool = False):
+        super().__init__(f"worker {worker}: {why}")
+        self.worker = worker
+        self.why = why
+        #: connection actively refused — the process is down *now*
+        self.refused = refused
+
+
+class WorkerClient:
+    """HTTP access to one worker's job/slice API."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except json.JSONDecodeError:
+                payload = {"error": "unparseable error body"}
+            return exc.code, payload
+        except urllib.error.URLError as exc:
+            refused = isinstance(exc.reason, ConnectionRefusedError)
+            raise WorkerUnreachable(
+                self.base_url, repr(exc.reason), refused=refused
+            ) from exc
+        except (TimeoutError, socket.timeout, ConnectionError) as exc:
+            refused = isinstance(exc, ConnectionRefusedError)
+            raise WorkerUnreachable(
+                self.base_url, repr(exc), refused=refused
+            ) from exc
+
+    # -- convenience wrappers ---------------------------------------------
+
+    def healthy(self) -> bool:
+        status, _ = self.request("GET", "/healthz")
+        return status == 200
+
+    def register(self, coordinator_id: str) -> tuple[int, dict]:
+        return self.request(
+            "POST", "/cluster/register", {"coordinator": coordinator_id}
+        )
+
+    def submit_slice(
+        self, slice_payload: dict, coordinator_id: str
+    ) -> tuple[int, dict]:
+        return self.request(
+            "POST", "/slices",
+            {"slice": slice_payload, "coordinator": coordinator_id},
+        )
+
+    def job_status(self, job_id: str) -> tuple[int, dict]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def job_result(self, job_id: str) -> tuple[int, dict]:
+        return self.request("GET", f"/jobs/{job_id}/result")
+
+    def cancel_job(self, job_id: str) -> tuple[int, dict]:
+        return self.request("POST", f"/jobs/{job_id}/cancel")

@@ -73,6 +73,81 @@ _FLUSH_EVERY = 16
 _WORKER: dict = {}
 
 
+def subtree_estimate(
+    graph: BipartiteGraph, v: int, bound_size: int = 256
+) -> tuple[int, int]:
+    """``(estimate, height)`` for the first-level subtree rooted at ``v``.
+
+    The cheap bound ``deg²`` stands in until it exceeds ``bound_size``;
+    past that the 2-hop neighbourhood is consulted for the tighter
+    ``min(deg, |N₂(v)|) · |N₂(v)|`` shape of the MBET work bound.
+    """
+    deg = graph.degree_v(v)
+    if deg * deg > bound_size:
+        n2 = len(graph.two_hop_v(v))
+        height = min(deg, n2)
+        return height * n2, height
+    return deg * deg, deg
+
+
+def addressable_roots(
+    graph: BipartiteGraph, order: str = "degree", seed: int = 0
+) -> list[int]:
+    """The canonical list of first-level roots every slice address names.
+
+    Deterministic in ``(order, seed)``: two processes that agree on the
+    graph and the ordering agree on index ``i`` of every root, which is
+    what makes a root range ``[lo, hi)`` a *serialisable* unit of work a
+    coordinator can hand to a remote worker (:mod:`repro.cluster`).
+    Degree-0 vertices root nothing and are excluded.
+    """
+    return [
+        v
+        for v in vertex_order(graph, order, seed=seed)
+        if graph.degree_v(v) > 0
+    ]
+
+
+def plan_root_ranges(
+    graph: BipartiteGraph,
+    n_slices: int,
+    order: str = "degree",
+    seed: int = 0,
+    bound_size: int = 256,
+) -> list[tuple[int, int]]:
+    """Partition the addressable root space into ≤ ``n_slices`` ranges.
+
+    Contiguous ``[lo, hi)`` index ranges over :func:`addressable_roots`,
+    balanced by the same subtree estimate the in-process scheduler uses,
+    covering the whole space with no overlap.  Fewer ranges are returned
+    when the graph has fewer roots than requested slices.
+    """
+    if n_slices < 1:
+        raise ValueError("n_slices must be >= 1")
+    roots = addressable_roots(graph, order, seed=seed)
+    if not roots:
+        return []
+    estimates = [subtree_estimate(graph, v, bound_size)[0] for v in roots]
+    total = sum(estimates)
+    n_slices = min(n_slices, len(roots))
+    target = total / n_slices
+    ranges: list[tuple[int, int]] = []
+    lo, acc = 0, 0
+    for i, est in enumerate(estimates):
+        acc += est
+        # keep enough roots back for the remaining slices
+        remaining_slices = n_slices - len(ranges)
+        if (
+            acc >= target
+            and len(roots) - (i + 1) >= remaining_slices - 1
+        ) or len(roots) - (i + 1) == remaining_slices - 1:
+            if remaining_slices > 1:
+                ranges.append((lo, i + 1))
+                lo, acc = i + 1, 0
+    ranges.append((lo, len(roots)))
+    return ranges
+
+
 class _LocalCounter:
     """In-process stand-in for the shared result counter (workers=1)."""
 
@@ -288,6 +363,7 @@ class ParallelMBE(MBEAlgorithm):
         faults: FaultPlan | None = None,
         min_left: int = 1,
         min_right: int = 1,
+        root_range: tuple[int, int] | list[int] | None = None,
     ):
         super().__init__(orient_smaller_v=orient_smaller_v)
         if workers < 1:
@@ -302,6 +378,16 @@ class ParallelMBE(MBEAlgorithm):
             raise ValueError("retry_backoff must be non-negative")
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
+        if root_range is not None:
+            lo, hi = root_range
+            if not (
+                isinstance(lo, int) and isinstance(hi, int) and 0 <= lo < hi
+            ):
+                raise ValueError(
+                    "root_range must be an integer pair [lo, hi) with "
+                    "0 <= lo < hi"
+                )
+            root_range = (lo, hi)
         self.workers = workers
         self.order = order
         self.bound_height = bound_height
@@ -314,6 +400,7 @@ class ParallelMBE(MBEAlgorithm):
         self.faults = faults
         self.min_left = min_left
         self.min_right = min_right
+        self.root_range = root_range
 
     # The framework hook is unused: run() is overridden wholesale because
     # results arrive from workers, not from an in-process tree walk.
@@ -322,20 +409,25 @@ class ParallelMBE(MBEAlgorithm):
 
     def _estimate(self, graph: BipartiteGraph, v: int) -> tuple[int, int]:
         """(estimate, height) for the subtree rooted at ``v``."""
-        deg = graph.degree_v(v)
-        if deg * deg > self.bound_size:
-            n2 = len(graph.two_hop_v(v))
-            height = min(deg, n2)
-            return height * n2, height
-        return deg * deg, deg
+        return subtree_estimate(graph, v, self.bound_size)
 
     def _make_tasks(self, graph: BipartiteGraph) -> list[tuple[int, int, int]]:
-        """Build root-slice tasks, largest estimated subtree first."""
-        order = vertex_order(graph, self.order, seed=self.seed)
+        """Build root-slice tasks, largest estimated subtree first.
+
+        With ``root_range=(lo, hi)`` only the roots at indices
+        ``lo..hi-1`` of :func:`addressable_roots` are scheduled — the
+        serialisable shard contract of the federated tier
+        (:mod:`repro.cluster`): disjoint ranges over the same canonical
+        root list partition the full result set exactly.
+        """
+        roots = addressable_roots(graph, self.order, seed=self.seed)
+        if self.root_range is not None:
+            lo, hi = self.root_range
+            if lo >= len(roots):
+                return []
+            roots = roots[lo:min(hi, len(roots))]
         estimated: list[tuple[int, int, int]] = []  # (estimate, height, v)
-        for v in order:
-            if graph.degree_v(v) == 0:
-                continue
+        for v in roots:
             estimate, height = self._estimate(graph, v)
             estimated.append((estimate, height, v))
         tasks: list[tuple[int, int, int, int]] = []  # (estimate, v, part, n_parts)
@@ -381,6 +473,9 @@ class ParallelMBE(MBEAlgorithm):
             "orient_smaller_v": self.orient_smaller_v,
             "min_left": self.min_left,
             "min_right": self.min_right,
+            "root_range": (
+                list(self.root_range) if self.root_range is not None else None
+            ),
             "collect": collect,
         }
 

@@ -61,6 +61,10 @@ class JobSpec:
     idempotency_key: str | None = None
     engine_options: dict = field(default_factory=dict)
     faults: dict | None = None
+    #: never try another engine — a job whose result set is only correct
+    #: for the requested engine (e.g. a cluster slice whose root range
+    #: exists solely in ``parallel``) must fail rather than fall back
+    no_fallback: bool = False
 
     def validate(self) -> None:
         """Raise :class:`JobValidationError` on a malformed spec."""
@@ -99,6 +103,8 @@ class JobSpec:
             raise JobValidationError("engine_options must be an object")
         if self.faults is not None and not isinstance(self.faults, dict):
             raise JobValidationError("faults must be an object")
+        if not isinstance(self.no_fallback, bool):
+            raise JobValidationError("no_fallback must be a boolean")
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready dump (inverse of :meth:`from_dict`)."""

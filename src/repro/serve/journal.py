@@ -87,7 +87,9 @@ def load_journal(path: str | os.PathLike[str]) -> dict[str, dict[str, Any]]:
                 )
             entry["spec"] = rec["spec"]
             entry["idempotency_key"] = rec.get("idempotency_key")
+            entry.setdefault("t0", rec.get("t"))
         entry["event"] = event
+        entry["t"] = rec.get("t")
         for key in ("summary", "error"):
             if key in rec:
                 entry[key] = rec[key]
@@ -118,10 +120,41 @@ def _repair_tail(path: str) -> None:
 
 
 class JobJournal:
-    """Append-only writer plus the recovery view over one journal file."""
+    """Append-only writer plus the recovery view over one journal file.
 
-    def __init__(self, path: str | os.PathLike[str]):
+    Growth is bounded by **compaction**: when the file exceeds
+    ``compact_max_bytes`` (or a client calls :meth:`compact`), the live
+    per-job state is rewritten to a fresh file — one ``submitted`` record
+    plus one last-event record per job — and atomically swapped in with
+    ``os.replace``.  Compaction is contract-preserving by construction:
+
+    * **restart-resume** — every non-terminal job keeps its ``spec`` and
+      last event, so :meth:`resumable_jobs` is unchanged;
+    * **idempotency** — every job with an ``idempotency_key`` survives,
+      so :meth:`idempotency_index` is unchanged (``max_terminal`` only
+      ever expires *keyless* terminal jobs, oldest first);
+    * **crash during compaction** — the rewrite goes to a ``.compact.tmp``
+      sibling first, so a kill at any point leaves either the old or the
+      new file fully intact; a stale tmp from such a crash is removed on
+      the next open and never read.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        compact_max_bytes: int | None = None,
+        max_terminal: int | None = None,
+        compact_max_age: float | None = None,
+    ):
         self.path = os.fspath(path)
+        self.compact_max_bytes = compact_max_bytes
+        self.max_terminal = max_terminal
+        self.compact_max_age = compact_max_age
+        # a compaction the previous life never finished: the original
+        # file is still the truth, the partial rewrite is garbage
+        tmp = self.path + ".compact.tmp"
+        if os.path.exists(tmp):
+            os.remove(tmp)
         #: replayed state from a previous server life (before this open)
         self.recovered = load_journal(self.path)
         _repair_tail(self.path)
@@ -129,12 +162,41 @@ class JobJournal:
         self._handle: IO[str] | None = open(
             self.path, "a", encoding="utf-8"
         )
+        self.compactions = 0
+        if self._due_for_compaction():
+            self.compact()
+
+    def _due_for_compaction(self) -> bool:
+        """Size/age triggers for an automatic compaction pass."""
+        if self.compact_max_bytes is not None:
+            try:
+                if os.path.getsize(self.path) > self.compact_max_bytes:
+                    return True
+            except OSError:  # pragma: no cover - racing an external rm
+                return False
+        if self.compact_max_age is not None:
+            oldest = min(
+                (
+                    e.get("t0") or e.get("t") or time.time()
+                    for e in self.recovered.values()
+                ),
+                default=None,
+            )
+            if oldest is not None and time.time() - oldest > self.compact_max_age:
+                return True
+        return False
 
     def _append(self, record: dict[str, Any]) -> None:
         with self._lock:
             assert self._handle is not None, "journal is closed"
             self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
             self._handle.flush()
+            due = (
+                self.compact_max_bytes is not None
+                and self._handle.tell() > self.compact_max_bytes
+            )
+        if due:
+            self.compact()
 
     def record_event(self, job: Job, event: str, **extra: Any) -> None:
         """Append one lifecycle event for ``job``."""
@@ -174,6 +236,77 @@ class JobJournal:
             for job_id, entry in self.recovered.items()
             if entry.get("idempotency_key")
         }
+
+    def compact(self) -> int:
+        """Rewrite the journal to its live state; returns jobs kept.
+
+        Each surviving job collapses to at most two records (its
+        ``submitted`` record and its last event).  Jobs are expired only
+        when they are terminal *and* keyless: beyond ``max_terminal`` of
+        them (newest kept), or older than ``compact_max_age`` seconds.
+        The swap is atomic (temp file + ``os.replace``), so a crash at
+        any instant leaves a valid journal.
+        """
+        with self._lock:
+            assert self._handle is not None, "journal is closed"
+            self._handle.flush()
+            state = load_journal(self.path)
+            now = time.time()
+            expirable: list[str] = [
+                job_id
+                for job_id, e in state.items()
+                if e.get("event") not in RESUMABLE_EVENTS
+                and not e.get("idempotency_key")
+            ]
+            drop: set[str] = set()
+            if self.compact_max_age is not None:
+                drop.update(
+                    job_id
+                    for job_id in expirable
+                    if now - (state[job_id].get("t")
+                              or state[job_id].get("t0") or now)
+                    > self.compact_max_age
+                )
+            if self.max_terminal is not None:
+                alive = [j for j in expirable if j not in drop]
+                if len(alive) > self.max_terminal:
+                    # dict order is append order: oldest submits first
+                    drop.update(
+                        alive[: len(alive) - self.max_terminal]
+                    )
+            tmp = self.path + ".compact.tmp"
+            kept = 0
+            with open(tmp, "w", encoding="utf-8") as out:
+                for job_id, e in state.items():
+                    if job_id in drop or not isinstance(e.get("spec"), dict):
+                        continue  # expired, or a torn pre-crash submit
+                    kept += 1
+                    sub = {
+                        "type": "job", "event": "submitted",
+                        "job_id": job_id,
+                        "t": e.get("t0") or e.get("t"),
+                        "spec": e["spec"],
+                        "idempotency_key": e.get("idempotency_key"),
+                    }
+                    out.write(json.dumps(sub, separators=(",", ":")) + "\n")
+                    if e.get("event") != "submitted":
+                        last: dict[str, Any] = {
+                            "type": "job", "event": e["event"],
+                            "job_id": job_id, "t": e.get("t"),
+                        }
+                        for key in ("summary", "error"):
+                            if key in e:
+                                last[key] = e[key]
+                        out.write(
+                            json.dumps(last, separators=(",", ":")) + "\n"
+                        )
+                out.flush()
+                os.fsync(out.fileno())
+            self._handle.close()
+            os.replace(tmp, self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self.compactions += 1
+            return kept
 
     def close(self) -> None:
         with self._lock:

@@ -66,16 +66,19 @@ class BoundedJobQueue:
     owns depth, blocking ``get``, and the retry-after estimate.
     """
 
-    def __init__(self, max_depth: int = 16):
+    def __init__(self, max_depth: int = 16, default_retry_after: float = 5.0):
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
+        if default_retry_after <= 0:
+            raise ValueError("default_retry_after must be positive")
         self.max_depth = max_depth
+        self.default_retry_after = default_retry_after
         self._items: deque[Job] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
-        # mean job duration estimate for Retry-After (seeded pessimistic)
-        self._mean_duration = 1.0
+        # mean job duration estimate for Retry-After
+        self._mean_duration = 0.0
         self._observed = 0
 
     # -- producer side -----------------------------------------------------
@@ -143,7 +146,15 @@ class BoundedJobQueue:
             ) / self._observed
 
     def retry_after(self) -> float:
-        """Seconds a rejected client should wait before resubmitting."""
+        """Seconds a rejected client should wait before resubmitting.
+
+        With no duration history yet — the queue filled before the first
+        job ever finished — the observed mean is meaningless, so the
+        configurable ``default_retry_after`` is returned instead of a
+        degenerate estimate extrapolated from nothing.
+        """
+        if self._observed == 0:
+            return self.default_retry_after
         # one queue drain's worth of mean job time, floored at 1s
         return max(1.0, self._mean_duration * max(1, len(self._items)))
 

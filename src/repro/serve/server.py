@@ -90,6 +90,12 @@ class ServiceConfig:
     #: honour ``faults`` in job specs (chaos testing only)
     allow_faults: bool = False
     fallback: tuple = ("mbet_vec", "mbet", "mbea")
+    #: Retry-After issued before any job duration has been observed
+    default_retry_after: float = 5.0
+    #: journal compaction triggers (None = that trigger disabled)
+    journal_max_bytes: int | None = 4 * 1024 * 1024
+    journal_max_terminal: int | None = 500
+    journal_max_age: float | None = None
 
 
 class EnumerationService:
@@ -106,7 +112,10 @@ class EnumerationService:
             "serve_jobs_total", "job lifecycle events",
             labels={"event": state},
         )
-        self.queue = BoundedJobQueue(max_depth=config.max_queue_depth)
+        self.queue = BoundedJobQueue(
+            max_depth=config.max_queue_depth,
+            default_retry_after=config.default_retry_after,
+        )
         self.breakers = BreakerRegistry(
             failure_threshold=config.breaker_threshold,
             cooldown=config.breaker_cooldown,
@@ -114,7 +123,10 @@ class EnumerationService:
             on_transition=self._on_breaker_transition,
         )
         self.journal = JobJournal(
-            os.path.join(config.state_dir, "journal.jsonl")
+            os.path.join(config.state_dir, "journal.jsonl"),
+            compact_max_bytes=config.journal_max_bytes,
+            max_terminal=config.journal_max_terminal,
+            compact_max_age=config.journal_max_age,
         )
 
         self._lock = threading.Lock()
@@ -126,6 +138,9 @@ class EnumerationService:
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._draining = False
+        #: federation bookkeeping: coordinators seen and slices accepted
+        self._coordinators: dict[str, float] = {}
+        self._slices: dict[str, dict[str, Any]] = {}
 
         self._recover()
 
@@ -382,6 +397,109 @@ class EnumerationService:
             event.set()
         return job.status_payload()
 
+    # -- federation (cluster worker surface) -------------------------------
+
+    def register_coordinator(self, payload: Any) -> dict[str, Any]:
+        """Record a coordinator announcing itself (``POST /cluster/register``)."""
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("coordinator"), str
+        ) or not payload["coordinator"]:
+            raise JobValidationError(
+                "registration requires a non-empty 'coordinator' id"
+            )
+        with self._lock:
+            self._coordinators[payload["coordinator"]] = time.time()
+        self.registry.counter(
+            "serve_cluster_registrations_total",
+            "coordinator registrations received",
+        ).inc()
+        return {"registered": payload["coordinator"], "worker_ready": self.ready}
+
+    def cluster_info(self) -> dict[str, Any]:
+        """The ``GET /cluster`` body: who we serve and what we hold."""
+        with self._lock:
+            coordinators = dict(self._coordinators)
+            slices = [dict(info) for info in self._slices.values()]
+        return {
+            "coordinators": coordinators,
+            "slices": slices,
+            "ready": self.ready,
+        }
+
+    def list_slices(self) -> list[dict[str, Any]]:
+        with self._lock:
+            out = [dict(info) for info in self._slices.values()]
+        out.sort(key=lambda d: d.get("accepted_at", 0.0))
+        return out
+
+    def submit_slice(self, payload: Any) -> tuple[Job, bool]:
+        """Admit one federated slice (``POST /slices``).
+
+        Validates the :class:`~repro.cluster.slices.SliceSpec`, then
+        guards the federation's core invariant: the worker's addressable
+        root space for ``(order, seed)`` must be *exactly* the
+        coordinator's (same list length), else the slice's ``[lo, hi)``
+        indices would select different roots here and the merged result
+        would silently be wrong.  Mismatches are permanent 400s — the
+        coordinator must not retry them elsewhere-blindly.
+        """
+        from repro.core.parallel import addressable_roots
+        from repro.cluster.slices import SliceSpec
+
+        if not isinstance(payload, dict) or "slice" not in payload:
+            raise JobValidationError(
+                "body must be an object with a 'slice' spec"
+            )
+        spec = SliceSpec.from_dict(payload["slice"])
+        coordinator = payload.get("coordinator")
+        overrides = payload.get("job_overrides") or {}
+        if not isinstance(overrides, dict):
+            raise JobValidationError("job_overrides must be an object")
+        unknown = set(overrides) - {"idempotency_key", "time_limit"}
+        if unknown:
+            raise JobValidationError(
+                f"unsupported job_overrides: {sorted(unknown)}"
+            )
+        job_payload = spec.to_job_payload()
+        job_payload.update(overrides)
+        # root-space exactness guard (resolve the graph the same way the
+        # job executor will, then compare root counts)
+        graph = self._resolve_graph(JobSpec.from_dict(job_payload))
+        local_roots = len(
+            addressable_roots(graph, spec.order, seed=spec.seed)
+        )
+        if local_roots != spec.n_roots:
+            self.registry.counter(
+                "serve_slices_total", "federated slice submissions",
+                labels={"event": "root_mismatch"},
+            ).inc()
+            raise JobValidationError(
+                f"root space mismatch: worker sees {local_roots} "
+                f"addressable roots for order={spec.order!r} "
+                f"seed={spec.seed}, slice was planned against "
+                f"{spec.n_roots} (differing graph versions?)"
+            )
+        job, deduplicated = self.submit(job_payload)
+        with self._lock:
+            if isinstance(coordinator, str) and coordinator:
+                self._coordinators[coordinator] = time.time()
+            self._slices[spec.slice_id] = {
+                "slice_id": spec.slice_id,
+                "range": [spec.lo, spec.hi],
+                "fingerprint": spec.fingerprint(),
+                "job_id": job.job_id,
+                "coordinator": coordinator,
+                "deduplicated": deduplicated,
+                "accepted_at": time.time(),
+            }
+        self.registry.counter(
+            "serve_slices_total", "federated slice submissions",
+            labels={
+                "event": "deduplicated" if deduplicated else "accepted"
+            },
+        ).inc()
+        return job, deduplicated
+
     # -- execution ---------------------------------------------------------
 
     def _worker_loop(self) -> None:
@@ -404,8 +522,13 @@ class EnumerationService:
         """Fallback order for one job, honouring threshold support.
 
         A job with size thresholds must not silently fall back to an
-        engine that ignores them — the result set would change.
+        engine that ignores them — the result set would change.  A job
+        with ``no_fallback`` (cluster slices: only the requested engine
+        understands ``root_range``, any substitute would enumerate the
+        whole graph) runs the requested engine or nothing.
         """
+        if spec.no_fallback:
+            return [spec.engine] if spec.engine in ALGORITHMS else []
         needs_thresholds = spec.min_left > 1 or spec.min_right > 1
         out = []
         for engine in self.breakers.resolve(spec.engine):
@@ -529,8 +652,24 @@ class EnumerationService:
             job.error = (
                 "no engine could run the job: "
                 + "; ".join(f"{f['engine']}: {f['why']}" for f in fallbacks)
+            ) if fallbacks else (
+                "no engine is eligible for this job "
+                "(no_fallback with an unavailable engine?)"
             )
-            self.journal.record_event(job, "failed", error=job.error)
+            # structured exhaustion report: clients (and the cluster
+            # coordinator's retry policy) get machine-readable causes,
+            # not just a flattened string
+            job.summary = {
+                "error_kind": (
+                    "fallback_exhausted" if fallbacks else "no_engine"
+                ),
+                "engines_tried": [f["engine"] for f in fallbacks],
+                "fallbacks": fallbacks,
+                "no_fallback": job.spec.no_fallback,
+            }
+            self.journal.record_event(
+                job, "failed", error=job.error, summary=job.summary
+            )
             self._jobs_counter("failed").inc()
             return
         stored = (
@@ -629,6 +768,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self.wfile.write(body)
             elif self.path == "/jobs":
                 self._send_json(200, {"jobs": service.list_jobs()})
+            elif self.path == "/slices":
+                self._send_json(200, {"slices": service.list_slices()})
+            elif self.path == "/cluster":
+                self._send_json(200, service.cluster_info())
             else:
                 m = _JOB_PATH.match(self.path)
                 if m and m.group(2) is None:
@@ -655,6 +798,18 @@ class _Handler(BaseHTTPRequestHandler):
                     {**job.status_payload(), "deduplicated": deduplicated},
                 )
                 return
+            if self.path == "/slices":
+                job, deduplicated = service.submit_slice(self._read_body())
+                self._send_json(
+                    200 if deduplicated else 202,
+                    {**job.status_payload(), "deduplicated": deduplicated},
+                )
+                return
+            if self.path == "/cluster/register":
+                self._send_json(
+                    200, service.register_coordinator(self._read_body())
+                )
+                return
             m = _JOB_PATH.match(self.path)
             if m and m.group(2) == "/cancel":
                 self._send_json(202, service.cancel(m.group(1)))
@@ -664,13 +819,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
         except AdmissionError as exc:
             headers = {}
+            body = {"error": exc.reason, "detail": exc.detail}
             if exc.retry_after is not None:
                 headers["Retry-After"] = str(int(exc.retry_after + 0.5))
-            self._send_json(
-                exc.status,
-                {"error": exc.reason, "detail": exc.detail},
-                headers,
-            )
+                body["retry_after"] = exc.retry_after
+            self._send_json(exc.status, body, headers)
         except JobNotFound:
             self._send_json(404, {"error": "no such job"})
         except Exception as exc:  # noqa: BLE001 - never kill the server

@@ -1,0 +1,616 @@
+"""Tests for federated enumeration (repro.cluster).
+
+Unit-tests the slice planner, the exactly-once range arbiter, and the
+coordinator journal; service-level tests exercise the worker's ``/slices``
+surface in-process; the chaos tests at the bottom boot real worker
+processes and verify the two headline guarantees: a SIGKILL'd worker's
+slices are reassigned and the merged result is exact, and a SIGKILL'd
+coordinator restarts from completed-slice state without re-running
+finished shards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import BipartiteGraph, run_mbe
+from repro.bigraph.generators import planted_bicliques
+from repro.bigraph.io import write_edge_list
+from repro.cluster import (
+    ClusterConfig,
+    ClusterCoordinator,
+    RangeCoverage,
+    SliceSpec,
+    load_cluster_journal,
+    plan_slices,
+)
+from repro.cluster.journal import ClusterJournal, ClusterJournalError
+from repro.core.parallel import addressable_roots, plan_root_ranges
+from repro.obs.sinks import parse_prometheus_text
+from repro.serve import (
+    EnumerationService,
+    JobValidationError,
+    ServiceConfig,
+    make_http_server,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+EDGES = [[0, 0], [0, 1], [1, 0], [1, 1], [2, 1]]
+
+
+def _graph(seed=3, noise=60):
+    return planted_bicliques(30, 30, 5, noise_edges=noise, seed=seed)
+
+
+def _truth(graph):
+    return run_mbe(graph, "mbet", collect=True).biclique_set()
+
+
+# --------------------------------------------------------------------------
+# root-range slicing (the addressable work units)
+
+
+class TestRootRanges:
+    @pytest.mark.parametrize("n_slices", [1, 2, 3, 7, 100])
+    def test_plan_covers_contiguously(self, n_slices):
+        g = _graph()
+        roots = addressable_roots(g)
+        ranges = plan_root_ranges(g, n_slices)
+        assert 1 <= len(ranges) <= n_slices
+        assert ranges[0][0] == 0 and ranges[-1][1] == len(roots)
+        for (_, a_hi), (b_lo, _) in zip(ranges, ranges[1:]):
+            assert a_hi == b_lo  # contiguous, no gap, no overlap
+        assert all(lo < hi for lo, hi in ranges)
+
+    def test_root_range_union_equals_full_enumeration(self):
+        g = _graph()
+        truth = _truth(g)
+        merged = []
+        for lo, hi in plan_root_ranges(g, 4):
+            part = run_mbe(g, "parallel", collect=True, workers=1,
+                           root_range=(lo, hi))
+            merged.extend(part.bicliques)
+        assert len(merged) == len(set(merged))  # disjoint shards
+        assert set(merged) == truth
+
+    def test_out_of_space_root_range_is_empty(self):
+        g = _graph()
+        n = len(addressable_roots(g))
+        result = run_mbe(g, "parallel", collect=True, workers=1,
+                         root_range=(n + 5, n + 9))
+        assert result.count == 0 and result.complete
+
+    def test_invalid_root_range_rejected(self):
+        with pytest.raises(ValueError, match="root_range"):
+            run_mbe(_graph(), "parallel", workers=1, root_range=(3, 3))
+
+
+# --------------------------------------------------------------------------
+# slice specs
+
+
+class TestSliceSpec:
+    def _spec(self, **kw):
+        kw.setdefault("slice_id", "s0")
+        kw.setdefault("lo", 0)
+        kw.setdefault("hi", 5)
+        kw.setdefault("n_roots", 10)
+        kw.setdefault("edges", EDGES)
+        return SliceSpec(**kw)
+
+    def test_roundtrip(self):
+        spec = self._spec()
+        assert SliceSpec.from_dict(spec.as_dict()) == spec
+
+    @pytest.mark.parametrize("bad,match", [
+        ({"lo": 5, "hi": 5}, "slice range"),
+        ({"lo": -1}, "slice range"),
+        ({"hi": 11}, "slice range"),
+        ({"edges": None}, "exactly one"),
+        ({"edges": EDGES, "dataset": "mti"}, "exactly one"),
+    ])
+    def test_validation(self, bad, match):
+        with pytest.raises(JobValidationError, match=match):
+            SliceSpec.from_dict({**self._spec().as_dict(), **bad})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown slice"):
+            SliceSpec.from_dict({**self._spec().as_dict(), "bogus": 1})
+
+    def test_fingerprint_binds_identity_not_packaging(self):
+        a, b = self._spec(), self._spec()
+        assert a.fingerprint() == b.fingerprint()
+        assert self._spec(hi=6).fingerprint() != a.fingerprint()
+        assert self._spec(seed=1).fingerprint() != a.fingerprint()
+        # a time limit changes execution, not identity
+        assert self._spec(time_limit=9.0).fingerprint() == a.fingerprint()
+
+    def test_job_payload_pins_engine_and_forbids_fallback(self):
+        payload = self._spec().to_job_payload()
+        assert payload["engine"] == "parallel"
+        assert payload["no_fallback"] is True
+        assert payload["engine_options"]["root_range"] == [0, 5]
+        assert payload["idempotency_key"].startswith("slice:")
+
+    def test_split_halves_and_atomic_slices_refuse(self):
+        children = self._spec(lo=2, hi=7).split()
+        assert [(c.lo, c.hi) for c in children] == [(2, 4), (4, 7)]
+        assert [c.slice_id for c in children] == ["s0.0", "s0.1"]
+        assert self._spec(lo=2, hi=3).split() == []
+
+    def test_plan_slices_ids_and_coverage(self):
+        g = _graph()
+        slices = plan_slices(g, 4, {"edges": EDGES})
+        n = len(addressable_roots(g))
+        assert slices[0].slice_id == "s0000"
+        assert slices[0].lo == 0 and slices[-1].hi == n
+        assert all(s.n_roots == n for s in slices)
+
+
+# --------------------------------------------------------------------------
+# the exactly-once arbiter
+
+
+class TestRangeCoverage:
+    def test_accepts_disjoint_rejects_overlap(self):
+        cov = RangeCoverage(10)
+        assert cov.add(0, 4)
+        assert cov.add(6, 10)
+        assert not cov.add(3, 7)  # straddles an accepted range
+        assert not cov.add(0, 4)  # exact duplicate
+        assert cov.add(4, 6)
+        assert cov.complete
+
+    def test_missing_reports_gaps_in_order(self):
+        cov = RangeCoverage(10)
+        cov.add(2, 4)
+        cov.add(7, 9)
+        assert cov.missing() == [(0, 2), (4, 7), (9, 10)]
+        assert not cov.complete and cov.covered == 4
+
+    def test_rejection_leaves_state_untouched(self):
+        cov = RangeCoverage(10)
+        cov.add(0, 5)
+        assert not cov.add(4, 10)
+        assert cov.missing() == [(5, 10)]
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            RangeCoverage(5).add(0, 6)
+
+
+# --------------------------------------------------------------------------
+# coordinator journal
+
+
+class TestClusterJournal:
+    def test_plan_and_event_roundtrip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = ClusterJournal(path)
+        j.record_plan("fp", 10, [{"slice_id": "s0"}])
+        j.record_slice("dispatched", "s0", worker="w", job_id="j1")
+        j.record_slice("completed", "s0", count=3)
+        j.record_terminal("done", count=3)
+        j.close()
+        plan, events = load_cluster_journal(path)
+        assert plan["fingerprint"] == "fp" and plan["n_roots"] == 10
+        assert [e["event"] for e in events] == [
+            "dispatched", "completed", "done",
+        ]
+
+    def test_torn_tail_dropped_and_appends_resume(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = ClusterJournal(path)
+        j.record_plan("fp", 10, [])
+        j.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"slice","event":"comp')  # torn write
+        j2 = ClusterJournal(path)
+        assert j2.recovered_plan["fingerprint"] == "fp"
+        assert j2.recovered_events == []
+        j2.record_slice("dispatched", "s0")
+        j2.close()
+        _, events = load_cluster_journal(path)
+        assert [e["event"] for e in events] == ["dispatched"]
+
+    def test_midfile_corruption_raises_with_location(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('not json\n{"type":"cluster","event":"done"}\n')
+        with pytest.raises(ClusterJournalError, match=r":1:"):
+            load_cluster_journal(path)
+
+    def test_duplicate_plan_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = ClusterJournal(path)
+        j.record_plan("fp", 1, [])
+        j.record_plan("fp", 1, [])
+        j.close()
+        with pytest.raises(ClusterJournalError, match="second 'planned'"):
+            load_cluster_journal(path)
+
+
+# --------------------------------------------------------------------------
+# worker-side federation surface (in-process HTTP)
+
+
+def _start_http_service(tmp_path, name, **cfg):
+    cfg.setdefault("workers", 1)
+    service = EnumerationService(
+        ServiceConfig(state_dir=str(tmp_path / name), **cfg)
+    )
+    service.start()
+    httpd = make_http_server(service)
+    threading.Thread(
+        target=httpd.serve_forever, kwargs={"poll_interval": 0.05},
+        daemon=True,
+    ).start()
+    url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    return service, httpd, url
+
+
+class TestWorkerSliceSurface:
+    def test_slice_submission_runs_and_registers(self, tmp_path):
+        service, httpd, _url = _start_http_service(tmp_path, "w")
+        try:
+            g = BipartiteGraph([tuple(e) for e in EDGES])
+            spec = plan_slices(g, 1, {"edges": EDGES})[0]
+            job, dedup = service.submit_slice({
+                "slice": spec.as_dict(), "coordinator": "c-test",
+            })
+            assert not dedup
+            deadline = time.monotonic() + 20
+            while service.status(job.job_id)["state"] not in (
+                "done", "failed",
+            ):
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            payload = service.result(job.job_id)
+            assert payload["state"] == "done"
+            assert payload["summary"]["engine"] == "parallel"
+            info = service.cluster_info()
+            assert "c-test" in info["coordinators"]
+            assert info["slices"][0]["job_id"] == job.job_id
+            # redelivery (same fingerprint, same attempt) deduplicates
+            again, dedup2 = service.submit_slice({
+                "slice": spec.as_dict(), "coordinator": "c-test",
+            })
+            assert dedup2 and again.job_id == job.job_id
+        finally:
+            httpd.shutdown()
+            service.drain(timeout=2)
+
+    def test_root_space_mismatch_is_permanent_400(self, tmp_path):
+        service, httpd, _url = _start_http_service(tmp_path, "w")
+        try:
+            g = BipartiteGraph([tuple(e) for e in EDGES])
+            spec = plan_slices(g, 1, {"edges": EDGES})[0]
+            bad = SliceSpec.from_dict(
+                {**spec.as_dict(), "n_roots": spec.n_roots + 1,
+                 "hi": spec.n_roots + 1}
+            )
+            with pytest.raises(JobValidationError, match="root space"):
+                service.submit_slice({"slice": bad.as_dict()})
+        finally:
+            httpd.shutdown()
+            service.drain(timeout=2)
+
+    def test_no_fallback_failure_is_structured_not_masked(self, tmp_path):
+        # a no_fallback job whose engine fails must fail with the
+        # structured exhaustion report — never fall back to an engine
+        # that would enumerate the whole graph into a slice result
+        service, httpd, _url = _start_http_service(tmp_path, "w")
+        try:
+            job, _ = service.submit({
+                "engine": "parallel", "edges": EDGES, "no_fallback": True,
+                "engine_options": {"workers": 1, "root_range": [0, 2],
+                                   "bound_size": "garbage"},
+            })
+            deadline = time.monotonic() + 20
+            while service.status(job.job_id)["state"] not in (
+                "done", "failed",
+            ):
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            payload = service.result(job.job_id)
+            assert payload["state"] == "failed"
+            assert payload["summary"]["error_kind"] == "fallback_exhausted"
+            assert payload["summary"]["engines_tried"] == ["parallel"]
+            assert payload["summary"]["no_fallback"] is True
+        finally:
+            httpd.shutdown()
+            service.drain(timeout=2)
+
+
+# --------------------------------------------------------------------------
+# coordinator against in-process workers (no subprocesses: fast paths)
+
+
+class TestCoordinatorInProcess:
+    def _run(self, tmp_path, graph, n_workers=2, source=None, **cfg):
+        services = []
+        try:
+            for i in range(n_workers):
+                services.append(_start_http_service(tmp_path, f"w{i}"))
+            gpath = tmp_path / "g.txt"
+            write_edge_list(graph, gpath)
+            config = ClusterConfig(
+                state_dir=str(tmp_path / "coord"),
+                workers=[s[2] for s in services],
+                **cfg,
+            )
+            coord = ClusterCoordinator(config)
+            result = coord.run(source or {"graph_path": str(gpath)})
+            coord.close()
+            return coord, result
+        finally:
+            for service, httpd, _url in services:
+                httpd.shutdown()
+                service.drain(timeout=2)
+
+    def test_two_workers_merge_exactly(self, tmp_path):
+        g = _graph()
+        coord, result = self._run(tmp_path, g, n_slices=4)
+        assert result.complete
+        assert result.biclique_set() == _truth(g)
+        samples = parse_prometheus_text(coord.metrics_text())
+        assert samples['cluster_slices_total{event="completed"}'] == 4
+        assert samples["cluster_workers_alive"] == 2
+
+    def test_single_worker_single_slice(self, tmp_path):
+        g = _graph(seed=5, noise=20)
+        _, result = self._run(tmp_path, g, n_workers=1, n_slices=1)
+        assert result.complete and result.biclique_set() == _truth(g)
+
+    def test_unreachable_worker_from_the_start_fails_cleanly(self, tmp_path):
+        g = _graph()
+        gpath = tmp_path / "g.txt"
+        write_edge_list(g, gpath)
+        config = ClusterConfig(
+            state_dir=str(tmp_path / "coord"),
+            workers=["http://127.0.0.1:9"],  # discard port: refused
+            all_dead_timeout=1.0,
+            heartbeat_interval=0.1,
+        )
+        coord = ClusterCoordinator(config)
+        result = coord.run({"graph_path": str(gpath)})
+        coord.close()
+        assert not result.complete
+        assert result.meta["stopped"] == "workers_lost"
+        assert result.meta["missing_ranges"]
+
+    def test_journal_fingerprint_mismatch_refuses_state_dir(self, tmp_path):
+        from repro.cluster.coordinator import ClusterError
+
+        g = _graph()
+        coord, result = self._run(tmp_path, g, n_workers=1, n_slices=2)
+        assert result.complete
+        other = _graph(seed=9)
+        gpath = tmp_path / "other.txt"
+        write_edge_list(other, gpath)
+        config = ClusterConfig(
+            state_dir=str(tmp_path / "coord"),  # reused state dir
+            workers=["http://127.0.0.1:9"],
+        )
+        coord2 = ClusterCoordinator(config)
+        with pytest.raises(ClusterError, match="different job"):
+            coord2.run({"graph_path": str(gpath)})
+        coord2.close()
+
+
+# --------------------------------------------------------------------------
+# chaos: real worker processes, real kills
+
+
+def _boot_worker(state_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src")
+        + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    port_file = os.path.join(str(state_dir), "serve.port")
+    if os.path.exists(port_file):
+        os.remove(port_file)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", str(state_dir), "--port", "0", *extra],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(f"worker died on boot: {proc.stdout.read()}")
+        if os.path.exists(port_file):
+            text = open(port_file).read().strip()
+            if text:
+                return proc, f"http://127.0.0.1:{int(text)}"
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("worker never wrote its port file")
+
+
+class TestClusterChaos:
+    def test_sigkill_worker_mid_job_reassigns_and_merges_exactly(
+        self, tmp_path
+    ):
+        """Acceptance scenario 1: SIGKILL one of two workers while it
+        holds a slice; the coordinator declares it dead, reassigns, and
+        the merged result equals the single-node reference exactly."""
+        graph = planted_bicliques(24, 24, 5, noise_edges=40, seed=3)
+        gpath = tmp_path / "graph.txt"
+        write_edge_list(graph, gpath)
+        truth = _truth(graph)
+
+        procs, urls = [], []
+        for i in range(2):
+            proc, url = _boot_worker(tmp_path / f"w{i}", "--workers", "1",
+                                     "--allow-faults")
+            procs.append(proc)
+            urls.append(url)
+        config = ClusterConfig(
+            state_dir=str(tmp_path / "coord"),
+            workers=urls,
+            n_slices=6,
+            heartbeat_interval=0.15,
+            heartbeat_timeout=1.0,
+            poll_interval=0.02,
+            time_limit=120.0,
+            # every root's task sleeps, so the victim is reliably
+            # mid-slice when the kill lands
+            faults={"slow_rate": 1.0, "slow_seconds": 0.25},
+        )
+        coord = ClusterCoordinator(config)
+        victim = procs[0]
+        journal_path = coord.journal.path
+
+        def _assassin():
+            # wait until the victim worker owns a dispatched slice
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                try:
+                    text = open(journal_path, encoding="utf-8").read()
+                except FileNotFoundError:
+                    text = ""
+                if f'"worker":"{urls[0]}"' in text and \
+                        '"event":"dispatched"' in text:
+                    break
+                time.sleep(0.02)
+            time.sleep(0.4)  # let the slice get genuinely mid-flight
+            victim.kill()  # SIGKILL: no drain, no goodbye
+
+        assassin = threading.Thread(target=_assassin, daemon=True)
+        assassin.start()
+        try:
+            result = coord.run({"graph_path": str(gpath)})
+        finally:
+            coord.close()
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait(timeout=10)
+        assassin.join(timeout=10)
+        assert victim.poll() is not None  # the kill really happened
+        assert result.complete, result.meta
+        got = result.biclique_set()
+        assert len(result.bicliques) == len(got)  # no duplicates
+        assert got == truth  # the exact biclique set
+        assert result.meta["workers"][urls[0]] == "dead"
+        samples = parse_prometheus_text(coord.metrics_text())
+        assert samples["cluster_worker_deaths_total"] >= 1
+        assert samples["cluster_reassignments_total"] >= 1
+
+    def test_kill9_coordinator_restart_resumes_completed_slices(
+        self, tmp_path
+    ):
+        """Acceptance scenario 2: kill -9 the coordinator once some
+        slices finished; a restart against the same state dir replays
+        the journal, re-loads their spooled results, and only dispatches
+        the unfinished remainder."""
+        graph = planted_bicliques(24, 24, 5, noise_edges=40, seed=3)
+        gpath = tmp_path / "graph.txt"
+        write_edge_list(graph, gpath)
+        truth = _truth(graph)
+
+        worker_proc, url = _boot_worker(tmp_path / "w0", "--workers", "1",
+                                        "--allow-faults")
+        state_dir = tmp_path / "coord"
+        script = (
+            "import sys\n"
+            "from repro.cluster import ClusterConfig, ClusterCoordinator\n"
+            "config = ClusterConfig(\n"
+            f"    state_dir={str(state_dir)!r},\n"
+            f"    workers=[{url!r}],\n"
+            "    n_slices=6, poll_interval=0.02,\n"
+            "    heartbeat_interval=0.15, heartbeat_timeout=2.0,\n"
+            "    faults={'slow_rate': 1.0, 'slow_seconds': 0.2},\n"
+            ")\n"
+            "coord = ClusterCoordinator(config)\n"
+            f"result = coord.run({{'graph_path': {str(gpath)!r}}})\n"
+            "sys.exit(0 if result.complete else 1)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(REPO_ROOT, "src")
+            + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        first = subprocess.Popen(
+            [sys.executable, "-c", script], cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        journal_path = os.path.join(str(state_dir), "journal.jsonl")
+        try:
+            # wait until at least one slice completed but the job has not
+            deadline = time.monotonic() + 90
+            killed = False
+            while time.monotonic() < deadline:
+                if first.poll() is not None:
+                    raise AssertionError(
+                        "first coordinator finished before the kill: "
+                        + first.stdout.read()
+                    )
+                try:
+                    text = open(journal_path, encoding="utf-8").read()
+                except FileNotFoundError:
+                    text = ""
+                completed = text.count('"event":"completed"')
+                if completed >= 1 and '"event":"done"' not in text:
+                    first.kill()  # SIGKILL mid-run
+                    killed = True
+                    break
+                time.sleep(0.02)
+            assert killed, "never caught the coordinator mid-run"
+            first.wait(timeout=10)
+
+            pre = open(journal_path, encoding="utf-8").read()
+            completed_before = {
+                json.loads(line)["slice_id"]
+                for line in pre.splitlines()
+                if line.strip() and json.loads(line).get("event")
+                == "completed"
+            }
+            assert completed_before
+
+            # restart in-process against the same state dir
+            config = ClusterConfig(
+                state_dir=str(state_dir),
+                workers=[url],
+                n_slices=6,
+                poll_interval=0.02,
+                heartbeat_interval=0.15,
+                heartbeat_timeout=2.0,
+                faults={"slow_rate": 1.0, "slow_seconds": 0.2},
+            )
+            coord = ClusterCoordinator(config)
+            assert coord.journal.recovered_plan is not None
+            result = coord.run({"graph_path": str(gpath)})
+            coord.close()
+            assert result.complete, result.meta
+            assert result.biclique_set() == truth
+            samples = parse_prometheus_text(coord.metrics_text())
+            assert samples["cluster_slices_resumed_total"] >= len(
+                completed_before
+            )
+            # nothing finished pre-crash was dispatched again: every
+            # post-restart dispatch targets a not-yet-completed slice
+            post = open(journal_path, encoding="utf-8").read()
+            new_part = post[len(pre):]
+            for line in new_part.splitlines():
+                if not line.strip():
+                    continue
+                rec = json.loads(line)
+                if rec.get("event") == "dispatched":
+                    assert rec["slice_id"] not in completed_before
+        finally:
+            if first.poll() is None:
+                first.kill()
+                first.wait(timeout=10)
+            worker_proc.kill()
+            worker_proc.wait(timeout=10)

@@ -152,6 +152,42 @@ class TestCircuitBreaker:
         assert seen == [("closed", "open"), ("open", "half_open"),
                         ("half_open", "closed")]
 
+    def test_half_open_concurrent_probes_admit_exactly_one(self):
+        """The half-open window under a thundering herd: one probe wins,
+        every concurrent loser is rejected fast (no blocking)."""
+        b, clock = self._breaker()
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.state == "half_open"
+
+        n = 8
+        barrier = threading.Barrier(n)
+        admitted, rejected, elapsed = [], [], []
+
+        def _probe():
+            barrier.wait()
+            t0 = time.monotonic()
+            try:
+                b.acquire()
+            except BreakerOpen:
+                rejected.append(1)
+            else:
+                admitted.append(1)
+            elapsed.append(time.monotonic() - t0)
+
+        threads = [threading.Thread(target=_probe) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(admitted) == 1
+        assert len(rejected) == n - 1
+        assert max(elapsed) < 1.0  # losers failed fast, none blocked
+        # the winning probe's success closes the breaker for everyone
+        b.record_success()
+        assert b.state == "closed"
+
 
 # --------------------------------------------------------------------------
 # memory watchdog degradation ladder
@@ -286,6 +322,28 @@ class TestBoundedJobQueue:
         dense = BipartiteGraph([(u, v) for u in range(6) for v in range(6)])
         assert 0 < estimate_cost(small) < estimate_cost(dense)
 
+    def test_empty_duration_history_uses_configured_default(self):
+        # before any job has finished there is no duration signal — the
+        # queue must not fabricate one from a made-up mean
+        q = BoundedJobQueue(max_depth=1, default_retry_after=7.5)
+        q.put(_job(1))
+        with pytest.raises(AdmissionError) as exc:
+            q.put(_job(2))
+        assert exc.value.retry_after == 7.5
+
+    def test_observed_durations_replace_the_default(self):
+        q = BoundedJobQueue(max_depth=1, default_retry_after=99.0)
+        q.observe_duration(2.0)
+        q.put(_job(1))
+        with pytest.raises(AdmissionError) as exc:
+            q.put(_job(2))
+        assert exc.value.retry_after < 99.0
+        assert exc.value.retry_after >= 1.0
+
+    def test_default_retry_after_must_be_positive(self):
+        with pytest.raises(ValueError, match="default_retry_after"):
+            BoundedJobQueue(default_retry_after=0)
+
 
 # --------------------------------------------------------------------------
 # job spec validation
@@ -393,6 +451,140 @@ class TestJobJournal:
         journal.record_event(job, "done")
         journal.close()
         assert JobJournal(path).idempotency_index() == {"alpha": "j-1"}
+
+
+# --------------------------------------------------------------------------
+# journal compaction
+
+
+class TestJournalCompaction:
+    def _fill(self, journal, n_terminal=5, keyed=(), inflight=()):
+        for i in range(n_terminal):
+            job = Job(job_id=f"t-{i}", spec=JobSpec(edges=EDGES))
+            journal.record_event(job, "submitted")
+            journal.record_event(job, "started")
+            journal.record_event(job, "done", summary={"count": i})
+        for key in keyed:
+            job = Job(job_id=f"k-{key}",
+                      spec=JobSpec(edges=EDGES, idempotency_key=key))
+            journal.record_event(job, "submitted")
+            journal.record_event(job, "done", summary={"count": 1})
+        for job_id in inflight:
+            job = Job(job_id=job_id, spec=JobSpec(edges=EDGES))
+            journal.record_event(job, "submitted")
+            journal.record_event(job, "started")
+
+    def test_compaction_collapses_but_preserves_every_contract(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        self._fill(journal, n_terminal=4, keyed=["alpha"],
+                   inflight=["j-run"])
+        before_state = load_journal(path)
+        before_size = os.path.getsize(path)
+        kept = journal.compact()
+        journal.close()
+        assert kept == 6
+        assert os.path.getsize(path) < before_size
+        # the replayed state is identical where it matters
+        after = JobJournal(path)
+        after_state = load_journal(path)
+        for job_id, entry in before_state.items():
+            assert after_state[job_id]["event"] == entry["event"]
+            assert after_state[job_id]["spec"] == entry["spec"]
+            if "summary" in entry:
+                assert after_state[job_id]["summary"] == entry["summary"]
+        assert [j.job_id for j in after.resumable_jobs()] == ["j-run"]
+        assert after.idempotency_index() == {"alpha": "k-alpha"}
+        after.close()
+
+    def test_size_trigger_compacts_automatically(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path, compact_max_bytes=2000, max_terminal=3)
+        self._fill(journal, n_terminal=40)
+        assert journal.compactions >= 1
+        assert os.path.getsize(path) < 4000
+        journal.compact()  # settle jobs finished since the last auto pass
+        journal.close()
+        state = load_journal(path)
+        assert len(state) <= 3  # keyless terminal jobs expired, newest kept
+
+    def test_max_terminal_expires_keyless_only_oldest_first(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path, max_terminal=2)
+        self._fill(journal, n_terminal=5, keyed=["a", "b"])
+        journal.compact()
+        journal.close()
+        state = load_journal(path)
+        # both keyed jobs survive; only the 2 newest keyless remain
+        assert set(state) == {"t-3", "t-4", "k-a", "k-b"}
+
+    def test_age_trigger_expires_old_terminal_jobs_at_open(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        self._fill(journal, n_terminal=2, keyed=["keep"])
+        journal.close()
+        # age the records: shift every timestamp far into the past
+        aged = []
+        for line in path.read_text().splitlines():
+            rec = json.loads(line)
+            rec["t"] = rec["t"] - 10_000
+            aged.append(json.dumps(rec))
+        path.write_text("\n".join(aged) + "\n")
+        reopened = JobJournal(path, compact_max_age=100.0)
+        assert reopened.compactions == 1
+        reopened.close()
+        state = load_journal(path)
+        assert set(state) == {"k-keep"}  # keyed jobs never age out
+
+    def test_crash_during_compaction_leaves_the_journal_intact(
+        self, tmp_path
+    ):
+        """A kill mid-compaction must lose nothing: the half-written
+        rewrite is a sibling tmp file, the real journal is untouched,
+        and the next open discards the garbage without reading it."""
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        self._fill(journal, n_terminal=2, keyed=["alpha"],
+                   inflight=["j-run"])
+        journal.close()
+        before = load_journal(path)
+        # simulate the torn mid-compaction state a SIGKILL leaves behind
+        tmp = str(path) + ".compact.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write('{"type":"job","event":"submitted","jo')
+        reopened = JobJournal(path)
+        assert not os.path.exists(tmp)  # garbage removed, never read
+        assert load_journal(path) == before
+        assert [j.job_id for j in reopened.resumable_jobs()] == ["j-run"]
+        assert reopened.idempotency_index() == {"alpha": "k-alpha"}
+        reopened.close()
+
+    def test_restart_resume_survives_a_compaction_cycle(self, tmp_path):
+        """End-to-end: submit → crash → compact on reopen → the job
+        still resumes and reports exact results."""
+        first = _make_service(tmp_path, start=False)
+        job, _ = first.submit({"engine": "mbet", "edges": EDGES,
+                               "idempotency_key": "re-compact"})
+        first.journal.close()  # crash: no drain
+
+        second = _make_service(tmp_path, journal_max_bytes=1)
+        try:
+            assert second.journal.compactions >= 1
+            assert _wait_terminal(second, job.job_id) == "done"
+            got = {
+                (tuple(left), tuple(right))
+                for left, right in second.result(job.job_id)["bicliques"]
+            }
+            assert got == _expected_set()
+            again, dedup = second.submit({
+                "engine": "mbet", "edges": EDGES,
+                "idempotency_key": "re-compact",
+            })
+            assert dedup and again.job_id == job.job_id
+        finally:
+            second.drain(timeout=2)
 
 
 # --------------------------------------------------------------------------
@@ -539,6 +731,59 @@ class TestEnumerationService:
             why = jobs[2]["summary"]["fallbacks"][0]["why"]
             assert "breaker open" in why
         finally:
+            service.drain(timeout=2)
+
+    def test_fallback_chain_exhaustion_reports_structured_error(
+        self, tmp_path
+    ):
+        """When every engine in the chain fails, the job fails with a
+        machine-readable exhaustion report — engines tried and per-engine
+        causes — not just a flattened message."""
+        service = _make_service(tmp_path, fallback=())  # chain: just crashy
+        try:
+            job, _ = service.submit({"engine": _CrashyMBE.name,
+                                     "edges": EDGES})
+            assert _wait_terminal(service, job.job_id) == "failed"
+            payload = service.result(job.job_id)
+            summary = payload["summary"]
+            assert summary["error_kind"] == "fallback_exhausted"
+            assert summary["engines_tried"] == [_CrashyMBE.name]
+            assert "synthetic engine crash" in summary["fallbacks"][0]["why"]
+            assert "synthetic engine crash" in payload["error"]
+            # the structured report survives a restart via the journal
+            service.drain(timeout=2)
+            second = _make_service(tmp_path, start=False, fallback=())
+            try:
+                replayed = second.result(job.job_id)
+                assert replayed["summary"]["error_kind"] == \
+                    "fallback_exhausted"
+            finally:
+                second.drain(timeout=1)
+        finally:
+            service.drain(timeout=2)
+
+    def test_exhaustion_over_http_is_a_clean_failed_job_not_a_500(
+        self, tmp_path
+    ):
+        service = _make_service(tmp_path, fallback=())
+        httpd = make_http_server(service)
+        threading.Thread(target=httpd.serve_forever,
+                         kwargs={"poll_interval": 0.05}, daemon=True).start()
+        client = _Client(httpd.server_address[1])
+        try:
+            status, payload = client.request(
+                "POST", "/jobs", {"engine": _CrashyMBE.name, "edges": EDGES}
+            )
+            assert status == 202
+            _wait_terminal(service, payload["job_id"])
+            status, result = client.request(
+                "GET", f"/jobs/{payload['job_id']}/result"
+            )
+            assert status == 200  # a failed job is an answer, not a 500
+            assert result["state"] == "failed"
+            assert result["summary"]["error_kind"] == "fallback_exhausted"
+        finally:
+            httpd.shutdown()
             service.drain(timeout=2)
 
     def test_watchdog_degrades_but_results_stay_exact(self, tmp_path):

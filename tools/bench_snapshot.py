@@ -21,18 +21,24 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import pathlib
 import platform
+import subprocess
 import sys
+import tempfile
+import time
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import datasets  # noqa: E402
+from repro import datasets, run_mbe  # noqa: E402
 from repro.bench.runner import run_timed  # noqa: E402
 from repro.obs import Instrumentation  # noqa: E402
 
 DEFAULT_DATASETS = ("mti", "wa", "tm")
 DEFAULT_ALGORITHMS = ("mbet", "mbet_iter", "imbea")
+DEFAULT_CLUSTER_DATASET = "so"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,7 +56,92 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated algorithm names")
     parser.add_argument("--time-limit", type=float, default=30.0,
                         help="per-run budget in seconds (default 30)")
+    parser.add_argument("--cluster-dataset", default=DEFAULT_CLUSTER_DATASET,
+                        help="dataset for the single-node vs federated "
+                             "comparison (empty string skips it)")
+    parser.add_argument("--cluster-workers", type=int, default=2,
+                        help="serve workers to federate over (default 2)")
     return parser
+
+
+def _boot_worker(state_dir: pathlib.Path) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", str(state_dir), "--port", "0", "--workers", "2"],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    port_file = state_dir / "serve.port"
+    deadline = time.monotonic() + 30
+    while True:
+        if proc.poll() is not None:
+            raise RuntimeError("bench worker died on boot")
+        if port_file.exists() and port_file.read_text().strip():
+            return proc, f"http://127.0.0.1:{int(port_file.read_text())}"
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("bench worker never wrote its port file")
+        time.sleep(0.05)
+
+
+def cluster_snapshot(dataset: str, n_workers: int, time_limit: float) -> dict:
+    """Time one dataset single-node vs federated over ``n_workers``.
+
+    Boots real ``repro serve`` subprocesses so the federated number
+    includes every honest overhead: HTTP dispatch, worker admission,
+    result serialization, and the coordinator's merge.
+    """
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+
+    graph = datasets.load(dataset)
+    t0 = time.perf_counter()
+    single = run_mbe(graph, "mbet", time_limit=time_limit)
+    single_seconds = time.perf_counter() - t0
+
+    root = pathlib.Path(tempfile.mkdtemp(prefix="bench-cluster-"))
+    procs, urls = [], []
+    try:
+        for i in range(n_workers):
+            proc, url = _boot_worker(root / f"w{i}")
+            procs.append(proc)
+            urls.append(url)
+        coord = ClusterCoordinator(ClusterConfig(
+            state_dir=str(root / "coord"), workers=urls,
+            poll_interval=0.02, time_limit=time_limit,
+        ))
+        try:
+            t0 = time.perf_counter()
+            result = coord.run({"dataset": dataset})
+            cluster_seconds = time.perf_counter() - t0
+        finally:
+            coord.close()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)
+    exact = (result.complete
+             and result.biclique_set() == single.biclique_set())
+    row = {
+        "dataset": dataset,
+        "count": single.count,
+        "workers": n_workers,
+        "single_node_seconds": round(single_seconds, 4),
+        "cluster_seconds": round(cluster_seconds, 4),
+        "cluster_slices": result.meta.get("slices"),
+        "exact_match": exact,
+    }
+    print(
+        f"  cluster on {dataset}: single-node {single_seconds:.3f}s vs "
+        f"{n_workers}-worker {cluster_seconds:.3f}s "
+        f"({'exact' if exact else 'MISMATCH'})",
+        file=sys.stderr,
+    )
+    return row
 
 
 def snapshot(
@@ -93,6 +184,9 @@ def main(argv: list[str] | None = None) -> int:
         "time_limit": args.time_limit,
         "records": records,
     }
+    if args.cluster_dataset:
+        doc["cluster"] = cluster_snapshot(
+            args.cluster_dataset, args.cluster_workers, args.time_limit)
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     target = out_dir / f"BENCH_{date}.json"
