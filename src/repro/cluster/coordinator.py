@@ -301,9 +301,13 @@ class ClusterCoordinator:
                     self._slices.setdefault(
                         child.slice_id, _SliceState(spec=child)
                     )
-                if parent is not None and parent.status == "pending":
-                    parent.status = "superseded"
+                if parent is not None:
+                    # a parent that was in-flight at crash time keeps
+                    # racing its children (at-least-once), but must not
+                    # be re-split a second time
                     parent.resplit = True
+                    if parent.status == "pending":
+                        parent.status = "superseded"
                 continue
             state = self._slices.get(slice_id)
             if state is None:
@@ -331,13 +335,26 @@ class ClusterCoordinator:
             elif event == "discarded":
                 if state.status not in ("completed",):
                     state.status = "discarded"
-        # re-attach: inflight slices poll their last known worker job;
-        # anything unresolved goes back to pending on first poll failure
+        # re-attach: inflight slices poll their last known worker job,
+        # and must be registered in that worker's inflight set so
+        # `_mark_dead` reclaims them if the owner never comes back (and
+        # so `max_inflight_per_worker` accounting stays honest).
+        # Anything unresolved goes back to pending immediately.
         for state in self._slices.values():
-            if state.status == "inflight" and (
-                state.worker is None or state.job_id is None
-            ):
+            if state.status != "inflight":
+                continue
+            if state.worker is None or state.job_id is None:
                 state.status = "pending"
+                continue
+            worker = self._workers.get(state.worker)
+            if worker is None:
+                # last owner is no longer a configured worker: nothing
+                # will ever poll that job, so re-dispatch elsewhere
+                state.status = "pending"
+                state.worker = None
+                state.job_id = None
+                continue
+            worker.inflight.add(state.spec.slice_id)
         if resumed:
             self.registry.counter(
                 "cluster_slices_resumed_total",
@@ -572,6 +589,10 @@ class ClusterCoordinator:
         # failed twice (budget, crashes) is halved before trying again
         if state.attempts >= 2 and not state.resplit:
             if self._resplit(state, reason=f"retry after: {why}"):
+                # the worker job already failed terminally, so unlike a
+                # straggler re-split there is no live parent racing the
+                # children — retire it instead of re-dispatching it
+                state.status = "superseded"
                 return
         state.status = "pending"
         state.not_before = self._backoff_gate(state.attempts)
@@ -585,8 +606,11 @@ class ClusterCoordinator:
             "superseded" if state.status != "inflight" else state.status
         )
         for child in children:
-            self._slices[child.slice_id] = _SliceState(spec=child)
-            self._slice_event("planned")
+            # split() is deterministic, so a child may already exist
+            # from a journal replay — never clobber its progress
+            if child.slice_id not in self._slices:
+                self._slices[child.slice_id] = _SliceState(spec=child)
+                self._slice_event("planned")
         self._slice_event("resplit")
         self.journal.record_slice(
             "resplit", state.spec.slice_id,

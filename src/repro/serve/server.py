@@ -59,6 +59,11 @@ __all__ = ["EnumerationService", "ServiceConfig", "make_http_server",
 #: one parallel run may execute per process at a time.
 _PARALLEL_LOCK = threading.Lock()
 
+#: Resolved graphs kept in RAM (graphs are immutable and shared freely
+#: across threads); root-count entries are just ints, so more of them.
+GRAPH_CACHE_SLOTS = 8
+ROOT_COUNT_CACHE_SLOTS = 64
+
 
 class JobNotFound(KeyError):
     """Unknown job id (HTTP 404)."""
@@ -135,6 +140,13 @@ class EnumerationService:
         self._cancel_events: dict[str, threading.Event] = {}
         self._idempotency: dict[str, str] = {}
         self._cost_cache: dict[str, int] = {}
+        #: resolved-graph cache: admission (submit / submit_slice) and
+        #: execution would otherwise re-read and re-parse the edge list
+        #: on every request — inside the HTTP handler thread, that can
+        #: blow past a coordinator's request timeout on large graphs
+        self._graph_cache: dict[tuple, BipartiteGraph] = {}
+        self._root_count_cache: dict[tuple, int] = {}
+        self._graph_cache_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._draining = False
@@ -297,20 +309,53 @@ class EnumerationService:
         self._jobs_counter("submitted").inc()
         return job, False
 
+    def _graph_cache_key(self, spec: JobSpec) -> tuple | None:
+        """Cache identity of one resolved graph (None = don't cache).
+
+        Datasets are immutable under their name; files are keyed by
+        path + mtime + size so an edited edge list never serves stale
+        structure.  Inline edge lists are cheap to rebuild: no cache.
+        """
+        if spec.dataset is not None:
+            return ("dataset", spec.dataset)
+        if spec.graph_path is not None:
+            try:
+                st = os.stat(spec.graph_path)
+            except OSError:
+                return None
+            return (
+                "path", os.path.abspath(spec.graph_path), spec.fmt,
+                st.st_mtime_ns, st.st_size,
+            )
+        return None
+
     def _resolve_graph(self, spec: JobSpec) -> BipartiteGraph:
+        key = self._graph_cache_key(spec)
+        if key is not None:
+            with self._graph_cache_lock:
+                cached = self._graph_cache.get(key)
+            if cached is not None:
+                return cached
         if spec.dataset is not None:
             if spec.dataset not in datasets.names():
                 raise JobValidationError(
                     f"unknown dataset {spec.dataset!r}"
                 )
-            return datasets.load(spec.dataset)
-        if spec.graph_path is not None:
+            graph = datasets.load(spec.dataset)
+        elif spec.graph_path is not None:
             if not os.path.exists(spec.graph_path):
                 raise JobValidationError(
                     f"graph_path does not exist: {spec.graph_path}"
                 )
-            return read_edge_list(spec.graph_path, fmt=spec.fmt)
-        return BipartiteGraph([tuple(e) for e in spec.edges or ()])
+            graph = read_edge_list(spec.graph_path, fmt=spec.fmt)
+        else:
+            return BipartiteGraph([tuple(e) for e in spec.edges or ()])
+        if key is not None:
+            with self._graph_cache_lock:
+                while len(self._graph_cache) >= GRAPH_CACHE_SLOTS:
+                    self._graph_cache.pop(next(iter(self._graph_cache)))
+                self._graph_cache[key] = graph
+        return graph
 
     def _admit_cost(self, spec: JobSpec, graph: BipartiteGraph) -> None:
         if self.config.max_cost is None:
@@ -463,11 +508,32 @@ class EnumerationService:
         job_payload = spec.to_job_payload()
         job_payload.update(overrides)
         # root-space exactness guard (resolve the graph the same way the
-        # job executor will, then compare root counts)
-        graph = self._resolve_graph(JobSpec.from_dict(job_payload))
-        local_roots = len(
-            addressable_roots(graph, spec.order, seed=spec.seed)
+        # job executor will, then compare root counts); cached so that
+        # retried / deduplicated submissions don't re-read the graph and
+        # re-order its roots inside the HTTP handler thread every time
+        job_spec = JobSpec.from_dict(job_payload)
+        graph_key = self._graph_cache_key(job_spec)
+        roots_key = (
+            (graph_key, spec.order, spec.seed)
+            if graph_key is not None else None
         )
+        local_roots: int | None = None
+        if roots_key is not None:
+            with self._graph_cache_lock:
+                local_roots = self._root_count_cache.get(roots_key)
+        if local_roots is None:
+            graph = self._resolve_graph(job_spec)
+            local_roots = len(
+                addressable_roots(graph, spec.order, seed=spec.seed)
+            )
+            if roots_key is not None:
+                with self._graph_cache_lock:
+                    while len(self._root_count_cache) >= \
+                            ROOT_COUNT_CACHE_SLOTS:
+                        self._root_count_cache.pop(
+                            next(iter(self._root_count_cache))
+                        )
+                    self._root_count_cache[roots_key] = local_roots
         if local_roots != spec.n_roots:
             self.registry.counter(
                 "serve_slices_total", "federated slice submissions",

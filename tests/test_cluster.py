@@ -36,6 +36,7 @@ from repro.core.parallel import addressable_roots, plan_root_ranges
 from repro.obs.sinks import parse_prometheus_text
 from repro.serve import (
     EnumerationService,
+    JobSpec,
     JobValidationError,
     ServiceConfig,
     make_http_server,
@@ -287,6 +288,29 @@ class TestWorkerSliceSurface:
             httpd.shutdown()
             service.drain(timeout=2)
 
+    def test_slice_root_count_cached_across_submissions(self, tmp_path):
+        """Redelivered slices must not re-read and re-order the graph
+        inside the handler: the root count is served from cache."""
+        service, httpd, _url = _start_http_service(tmp_path, "w")
+        try:
+            g = _graph()
+            gpath = tmp_path / "g.txt"
+            write_edge_list(g, gpath)
+            spec = plan_slices(g, 1, {"graph_path": str(gpath)})[0]
+            job, dedup = service.submit_slice({"slice": spec.as_dict()})
+            assert not dedup
+            assert len(service._root_count_cache) == 1
+            job_spec = JobSpec.from_dict(spec.to_job_payload())
+            cached_graph = service._resolve_graph(job_spec)
+            again, dedup2 = service.submit_slice({"slice": spec.as_dict()})
+            assert dedup2 and again.job_id == job.job_id
+            assert len(service._root_count_cache) == 1
+            # the resolved graph itself is shared, not re-parsed
+            assert service._resolve_graph(job_spec) is cached_graph
+        finally:
+            httpd.shutdown()
+            service.drain(timeout=2)
+
     def test_root_space_mismatch_is_permanent_400(self, tmp_path):
         service, httpd, _url = _start_http_service(tmp_path, "w")
         try:
@@ -403,6 +427,159 @@ class TestCoordinatorInProcess:
         with pytest.raises(ClusterError, match="different job"):
             coord2.run({"graph_path": str(gpath)})
         coord2.close()
+
+
+# --------------------------------------------------------------------------
+# restart replay bookkeeping (unit-level: no live run needed)
+
+
+class TestReplayBookkeeping:
+    URL = "http://127.0.0.1:9"
+
+    def _plan_only(self, tmp_path, source, workers, **cfg):
+        """A coordinator with its plan loaded but `run` never entered."""
+        cfg.setdefault("n_slices", 2)
+        coord = ClusterCoordinator(ClusterConfig(
+            state_dir=str(tmp_path / "coord"), workers=workers, **cfg,
+        ))
+        coord._plan(coord._load_graph(source), source)
+        return coord
+
+    def _source(self, tmp_path):
+        gpath = tmp_path / "g.txt"
+        write_edge_list(_graph(), gpath)
+        return {"graph_path": str(gpath)}
+
+    def test_replayed_inflight_slice_joins_worker_inflight_set(
+        self, tmp_path
+    ):
+        """An inflight slice must re-attach into its worker's inflight
+        set on restart, so `_mark_dead` can reclaim it if that worker
+        never comes back (the fix for the stuck-forever resume)."""
+        source = self._source(tmp_path)
+        coord = self._plan_only(tmp_path, source, [self.URL])
+        sid = sorted(coord._slices)[0]
+        coord.journal.record_slice(
+            "dispatched", sid, worker=self.URL, job_id="j-zombie", attempt=1
+        )
+        coord.close()
+
+        coord2 = self._plan_only(tmp_path, source, [self.URL])
+        state = coord2._slices[sid]
+        assert state.status == "inflight"
+        assert sid in coord2._workers[self.URL].inflight
+        # declaring the old owner dead now demotes the slice for
+        # reassignment instead of leaving it inflight forever
+        coord2._mark_dead(coord2._workers[self.URL], "never came back")
+        assert state.status == "pending"
+        assert not coord2._workers[self.URL].inflight
+        coord2.close()
+
+    def test_replayed_inflight_slice_of_unconfigured_worker_goes_pending(
+        self, tmp_path
+    ):
+        source = self._source(tmp_path)
+        coord = self._plan_only(tmp_path, source, [self.URL])
+        sid = sorted(coord._slices)[0]
+        coord.journal.record_slice(
+            "dispatched", sid, worker=self.URL, job_id="j-old", attempt=1
+        )
+        coord.close()
+
+        other = "http://127.0.0.1:10"
+        coord2 = self._plan_only(tmp_path, source, [other])
+        state = coord2._slices[sid]
+        assert state.status == "pending"
+        assert state.worker is None and state.job_id is None
+        assert not coord2._workers[other].inflight
+        coord2.close()
+
+    def test_replayed_resplit_pins_inflight_parent(self, tmp_path):
+        """A parent that was in-flight at crash time resumes with
+        resplit=True so it is never split a second time, and a repeat
+        `_resplit` call never clobbers existing child progress."""
+        source = self._source(tmp_path)
+        coord = self._plan_only(tmp_path, source, [self.URL])
+        sid = sorted(coord._slices)[0]
+        children = coord._slices[sid].spec.split()
+        assert children
+        coord.journal.record_slice(
+            "dispatched", sid, worker=self.URL, job_id="j-1", attempt=1
+        )
+        coord.journal.record_slice(
+            "resplit", sid, children=[c.as_dict() for c in children]
+        )
+        coord.close()
+
+        coord2 = self._plan_only(tmp_path, source, [self.URL])
+        parent = coord2._slices[sid]
+        assert parent.status == "inflight" and parent.resplit is True
+        for child in children:
+            assert coord2._slices[child.slice_id].status == "pending"
+        # even a forced re-split leaves existing child states alone
+        coord2._slices[children[0].slice_id].status = "completed"
+        coord2._resplit(parent, reason="forced again")
+        assert coord2._slices[children[0].slice_id].status == "completed"
+        coord2.close()
+
+    def test_failed_resplit_retires_parent(self, tmp_path):
+        """After a terminal worker-job failure triggers a re-split, the
+        parent must not stay inflight: its job is dead, so only the
+        children should run the range."""
+        from repro.cluster.coordinator import _SliceState
+
+        source = self._source(tmp_path)
+        coord = self._plan_only(tmp_path, source, [self.URL])
+        spec = SliceSpec(slice_id="sX", lo=0, hi=4, n_roots=8, edges=EDGES)
+        state = _SliceState(spec=spec, status="inflight", attempts=2)
+        coord._slices[spec.slice_id] = state
+        coord._slice_failed(state, "worker job failed: boom")
+        assert state.status == "superseded"
+        child_states = [
+            coord._slices[c.slice_id] for c in spec.split()
+        ]
+        assert child_states
+        assert all(c.status == "pending" for c in child_states)
+        coord.close()
+
+    def test_restart_reassigns_slice_of_permanently_dead_worker(
+        self, tmp_path
+    ):
+        """End-to-end regression: the journal says a slice is inflight
+        on a worker that never comes back after the coordinator
+        restarts; the run must still complete via the healthy peer."""
+        g = _graph(seed=5, noise=20)
+        gpath = tmp_path / "g.txt"
+        write_edge_list(g, gpath)
+        source = {"graph_path": str(gpath)}
+        coord = self._plan_only(tmp_path, source, [self.URL])
+        sid = sorted(coord._slices)[0]
+        coord.journal.record_slice(
+            "dispatched", sid, worker=self.URL, job_id="j-zombie", attempt=1
+        )
+        coord.close()
+
+        service, httpd, live_url = _start_http_service(tmp_path, "w-live")
+        try:
+            coord2 = ClusterCoordinator(ClusterConfig(
+                state_dir=str(tmp_path / "coord"),
+                workers=[live_url, self.URL],
+                n_slices=2,
+                heartbeat_interval=0.1,
+                heartbeat_timeout=0.5,
+                poll_interval=0.02,
+                time_limit=60.0,
+            ))
+            result = coord2.run(source)
+            coord2.close()
+        finally:
+            httpd.shutdown()
+            service.drain(timeout=2)
+        assert result.complete, result.meta
+        assert result.biclique_set() == _truth(g)
+        assert result.meta["workers"][self.URL] == "dead"
+        samples = parse_prometheus_text(coord2.metrics_text())
+        assert samples["cluster_reassignments_total"] >= 1
 
 
 # --------------------------------------------------------------------------

@@ -1031,3 +1031,61 @@ class TestServerProcess:
         finally:
             proc2.send_signal(signal.SIGTERM)
             proc2.communicate(timeout=30)
+
+
+# --------------------------------------------------------------------------
+# graph resolution caching (admission must not re-parse per request)
+
+
+class TestGraphCache:
+    def _service(self, tmp_path):
+        return EnumerationService(
+            ServiceConfig(state_dir=str(tmp_path / "svc"))
+        )
+
+    def test_graph_path_resolution_cached_until_file_changes(
+        self, tmp_path
+    ):
+        from repro.bigraph.io import write_edge_list
+
+        service = self._service(tmp_path)
+        try:
+            gpath = tmp_path / "g.txt"
+            write_edge_list(
+                BipartiteGraph([tuple(e) for e in EDGES]), gpath
+            )
+            spec = JobSpec(graph_path=str(gpath))
+            first = service._resolve_graph(spec)
+            assert service._resolve_graph(spec) is first  # cache hit
+            # rewriting the file must invalidate (mtime/size keyed)
+            bigger = planted_bicliques(8, 8, 2, noise_edges=5, seed=1)
+            write_edge_list(bigger, gpath)
+            fresh = service._resolve_graph(spec)
+            assert fresh is not first
+            assert fresh.n_edges == bigger.n_edges
+        finally:
+            service.journal.close()
+
+    def test_dataset_resolution_cached(self, tmp_path):
+        from repro import datasets
+
+        service = self._service(tmp_path)
+        try:
+            name = sorted(datasets.names())[0]
+            spec = JobSpec(dataset=name)
+            assert service._resolve_graph(spec) is \
+                service._resolve_graph(spec)
+        finally:
+            service.journal.close()
+
+    def test_inline_edges_not_cached(self, tmp_path):
+        service = self._service(tmp_path)
+        try:
+            spec = JobSpec(edges=EDGES)
+            assert service._graph_cache_key(spec) is None
+            a = service._resolve_graph(spec)
+            b = service._resolve_graph(spec)
+            assert a is not b and a.n_edges == b.n_edges
+            assert not service._graph_cache
+        finally:
+            service.journal.close()
