@@ -126,6 +126,29 @@ def read_edge_list(
     return builder.build(compact=compact)
 
 
+def load_graph_cached(
+    path: str | os.PathLike[str],
+    store=None,
+    fmt: str = "auto",
+    compact: bool = False,
+) -> "tuple[BipartiteGraph, str, bool]":
+    """Load an edge list through the artifact store.
+
+    Returns ``(graph, graph_key, cached)``; with ``store=None`` the
+    default store (``repro.artifacts.open_store``) is used.  A repeat
+    load of an unchanged file (same mtime + size) hydrates the parsed
+    CSR from the store and performs **zero parsing**; any change to the
+    file, or any store corruption, transparently falls back to
+    :func:`read_edge_list` and refreshes the cache.
+    """
+    # imported lazily: artifacts depends on this module for the rebuild path
+    from repro import artifacts
+
+    if store is None:
+        store = artifacts.open_store()
+    return artifacts.load_graph_cached(path, store, fmt=fmt, compact=compact)
+
+
 def write_edge_list(
     graph: BipartiteGraph,
     path: str | os.PathLike[str],

@@ -78,9 +78,16 @@ def degeneracy_order(graph: BipartiteGraph) -> tuple[list[int], int]:
 
 
 def vertex_order(
-    graph: BipartiteGraph, strategy: str = "degree", seed: int = 0
+    graph: BipartiteGraph, strategy="degree", seed: int = 0
 ) -> list[int]:
     """Return a permutation of V ids according to ``strategy``.
+
+    ``strategy`` may also be a precomputed permutation (any non-string
+    sequence of V ids, e.g. one hydrated from the artifact cache); it is
+    validated against the graph and returned as a list without any
+    recomputation — this is how a caller that already paid for an
+    ordering (cost pre-flight, artifact store) threads it through to the
+    engines instead of computing it twice.
 
     Strategies
     ----------
@@ -101,6 +108,25 @@ def vertex_order(
         :func:`degeneracy_order`).
     ``random``
         Uniform shuffle, deterministic in ``seed``.
+    """
+    if not isinstance(strategy, str):
+        order = [int(v) for v in strategy]
+        if sorted(order) != list(range(graph.n_v)):
+            raise ValueError(
+                "precomputed order is not a permutation of "
+                f"0..{graph.n_v - 1}"
+            )
+        return order
+    return _compute_order(graph, strategy, seed)
+
+
+def _compute_order(
+    graph: BipartiteGraph, strategy: str, seed: int = 0
+) -> list[int]:
+    """Compute a named strategy's permutation (the expensive path).
+
+    Split out of :func:`vertex_order` so cache tests can count actual
+    ordering computations separately from pass-throughs.
     """
     n = graph.n_v
     if strategy == "natural":

@@ -14,6 +14,7 @@ Subcommands
 ``verify``       audit a saved biclique file against its graph
 ``generate``     write a synthetic bipartite graph to an edge-list file
 ``stats``        print a graph's statistics row
+``cache``        inspect/maintain the artifact store (docs/artifacts.md)
 ``datasets``     list the dataset zoo
 ``algorithms``   list registered algorithms
 ``experiments``  regenerate the reconstructed evaluation (see DESIGN.md §4)
@@ -116,11 +117,85 @@ def _restore_handlers(previous: dict | None) -> None:
         signal.signal(sig, old)
 
 
+def _run_cache_enabled(args: argparse.Namespace) -> bool:
+    """``--cache`` / ``--cache-dir`` turn the artifact store on;
+    ``--no-cache`` wins over both."""
+    if args.no_cache:
+        return False
+    return bool(args.cache or args.cache_dir)
+
+
+def _emit_cached_run(args: argparse.Namespace, name: str, hit: dict) -> int:
+    """Print the standard run summary for a result-cache hit."""
+    print(
+        f"{args.algorithm} on {name}: {hit['count']:,} bicliques, "
+        f"cached (originally {hit['elapsed']:.3f}s)",
+        file=sys.stderr,
+    )
+    print(
+        f"{args.algorithm} on {name}: {hit['count']:,} maximal bicliques "
+        f"(cached result; original run took {hit['elapsed']:.3f}s)"
+    )
+    if args.output:
+        from repro.core.base import Biclique
+        from repro.core.io_results import write_bicliques
+
+        bicliques = [
+            Biclique.make(left, right) for left, right in hit["bicliques"]
+        ]
+        written = write_bicliques(bicliques, args.output)
+        print(f"wrote {written:,} bicliques to {args.output}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import threading
 
     instr = _make_instrumentation(args)
-    graph, name = _load_graph(args)
+    use_cache = _run_cache_enabled(args)
+    # the result cache only answers for unconstrained runs: a budget can
+    # legitimately truncate, and a truncated answer must never be served
+    # as "the" answer (nor is a complete one what a budgeted caller pins)
+    budgeted = (
+        args.max_bicliques is not None
+        or args.time_limit is not None
+        or args.max_nodes is not None
+    )
+    store = None
+    gk = None
+    if use_cache:
+        from repro import artifacts
+
+        store = artifacts.open_store(args.cache_dir)
+        result_fp = artifacts.result_fingerprint(args.algorithm)
+        if args.input and not budgeted and args.checkpoint is None:
+            # warm path: an unchanged file's key comes from the source
+            # index, so a repeat run can finish without touching the graph
+            gk = artifacts.peek_graph_key(args.input, store, fmt=args.format)
+            if gk is not None:
+                hit = artifacts.get_cached_result(
+                    store, gk, result_fp,
+                    need_bicliques=args.output is not None,
+                )
+                if hit is not None:
+                    return _emit_cached_run(args, args.input, hit)
+        if args.dataset:
+            graph, name = datasets.load(args.dataset), args.dataset
+            gk = artifacts.graph_key(graph)
+        else:
+            graph, gk, _was_cached = artifacts.load_graph_cached(
+                args.input, store, fmt=args.format
+            )
+            name = args.input
+        if not budgeted and args.checkpoint is None:
+            hit = artifacts.get_cached_result(
+                store, gk, result_fp,
+                need_bicliques=args.output is not None,
+            )
+            if hit is not None:
+                return _emit_cached_run(args, name, hit)
+    else:
+        graph, name = _load_graph(args)
     collect = args.output is not None
     options = {}
     if args.checkpoint is not None:
@@ -129,6 +204,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         options["checkpoint"] = args.checkpoint
+    if store is not None:
+        from repro import artifacts
+
+        # cost pre-flight (persisted stats scan), and the ordering it
+        # produces is threaded straight into the engine — the same
+        # invocation never computes the same permutation twice
+        cost = artifacts.cached_cost(store, gk, graph)
+        print(f"pre-flight: cost estimate {cost:,} "
+              f"(|E|*max(1,D2))", file=sys.stderr)
+        import inspect
+
+        from repro.core.base import ALGORITHMS
+
+        factory = ALGORITHMS.get(args.algorithm)
+        if factory is not None:
+            try:
+                params = inspect.signature(factory).parameters
+            except (TypeError, ValueError):  # pragma: no cover
+                params = {}
+            if "order" in params:
+                options["order"] = artifacts.cached_vertex_order(
+                    store, gk, graph, "degree", 0
+                )
     cancel_event = threading.Event()
     previous_handlers = _install_cancel_handlers(cancel_event)
     budget = None
@@ -155,6 +253,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     finally:
         _restore_handlers(previous_handlers)
+    if store is not None and result.complete:
+        from repro import artifacts
+
+        artifacts.put_cached_result(
+            store, gk, artifacts.result_fingerprint(args.algorithm),
+            engine=args.algorithm, count=result.count,
+            elapsed=result.elapsed,
+            bicliques=(
+                [(list(b.left), list(b.right)) for b in result.bicliques]
+                if result.bicliques is not None else None
+            ),
+        )
     cancelled = result.meta.get("stopped") == "cancelled"
     if result.complete:
         status = "complete"
@@ -226,6 +336,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal_max_bytes=(
             args.journal_max_mb * mb if args.journal_max_mb else None
         ),
+        artifacts_dir=args.artifacts_dir,
+        result_cache=not args.no_result_cache,
     )
     return run_server(config, host=args.host, port=args.port)
 
@@ -614,6 +726,63 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain the artifact store (docs/artifacts.md)."""
+    from repro import artifacts
+
+    store = artifacts.open_store(args.cache_dir)
+    action = args.cache_command
+    if action == "stats":
+        summary = store.stats_summary()
+        rows = [
+            ["root", summary["root"]],
+            ["entries", summary["entries"]],
+            ["bytes", f"{summary['bytes']:,}"],
+            ["budget bytes", f"{summary['max_bytes']:,}"
+             if summary["max_bytes"] else "unbounded"],
+            ["quarantined", summary["quarantined"]],
+        ]
+        rows += [[f"kind: {k}", v] for k, v in summary["by_kind"].items()]
+        print(format_table(["metric", "value"], rows))
+        return 0
+    if action == "ls":
+        entries = store.entries()
+        if not entries:
+            print("store is empty")
+            return 0
+        print(format_table(
+            ["graph", "kind", "fingerprint", "bytes"],
+            [
+                [e.graph_key[:12], e.kind, e.fingerprint, f"{e.size:,}"]
+                for e in entries
+            ],
+        ))
+        return 0
+    if action == "verify":
+        report = store.verify()
+        print(f"verified {report['ok']} entries; "
+              f"quarantined {len(report['quarantined'])}, "
+              f"removed {report['tmp_removed']} stale temp files")
+        for path in report["quarantined"]:
+            print(f"  quarantined: {path}", file=sys.stderr)
+        return 1 if report["quarantined"] else 0
+    if action == "gc":
+        report = store.gc(
+            max_bytes=(
+                args.max_mb * 1024 * 1024 if args.max_mb is not None
+                else None
+            )
+        )
+        print(f"gc: evicted {report['evicted']} entries, removed "
+              f"{report['tmp_removed']} stale temp files")
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.root}")
+        return 0
+    raise AssertionError(f"unknown cache action {action!r}")
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     rows = []
     for key in datasets.names():
@@ -708,6 +877,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "runs (requires --algorithm parallel)")
     p_run.add_argument("--output", "-o", default=None,
                        help="write bicliques as 'u1,u2\\tv1,v2' lines")
+    p_run.add_argument("--cache", action="store_true",
+                       help="reuse parsed graphs, orderings and complete "
+                            "results through the artifact store "
+                            "(docs/artifacts.md)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="force cache off (overrides --cache/--cache-dir)")
+    p_run.add_argument("--cache-dir", default=None,
+                       help="artifact store directory (implies --cache; "
+                            "default $REPRO_ARTIFACTS_DIR or "
+                            "~/.cache/repro-mbe/artifacts)")
     add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -757,6 +936,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--journal-max-mb", type=int, default=4,
                        help="compact the job journal once it exceeds this "
                             "size (0 disables size-triggered compaction)")
+    p_srv.add_argument("--artifacts-dir", default=None,
+                       help="artifact store directory (default: "
+                            "<state-dir>/artifacts); share one across "
+                            "workers on the same host to pool parsed "
+                            "graphs and results")
+    p_srv.add_argument("--no-result-cache", action="store_true",
+                       help="re-run repeat jobs instead of answering from "
+                            "cached complete results")
     p_srv.set_defaults(func=_cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -899,6 +1086,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="print graph statistics")
     add_graph_source(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect/maintain the artifact store (docs/artifacts.md)",
+    )
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="store directory (default $REPRO_ARTIFACTS_DIR "
+                              "or ~/.cache/repro-mbe/artifacts)")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry/byte totals per kind")
+    cache_sub.add_parser("ls", help="list every stored entry")
+    cache_sub.add_parser(
+        "verify",
+        help="integrity-scan all entries; quarantine defects (exit 1 if any)",
+    )
+    p_gc = cache_sub.add_parser(
+        "gc", help="sweep stale temp files and enforce the size budget"
+    )
+    p_gc.add_argument("--max-mb", type=int, default=None,
+                      help="one-off size budget in MiB for this gc pass")
+    cache_sub.add_parser("clear", help="remove every entry")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_ds = sub.add_parser("datasets", help="list the dataset zoo")
     p_ds.set_defaults(func=_cmd_datasets)

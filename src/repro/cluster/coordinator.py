@@ -260,6 +260,8 @@ class ClusterCoordinator:
                 for k in ("dataset", "graph_path", "edges")
                 if source.get(k) is not None
             }
+            from repro.artifacts import graph_key as _graph_key
+
             specs = plan_slices(
                 graph,
                 n_slices,
@@ -271,6 +273,7 @@ class ClusterCoordinator:
                 min_right=cfg.min_right,
                 engine_options=dict(cfg.engine_options),
                 faults=cfg.faults,
+                graph_key=_graph_key(graph),
             )
             self.journal.record_plan(
                 fingerprint, n_roots, [s.as_dict() for s in specs]

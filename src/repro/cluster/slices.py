@@ -49,6 +49,12 @@ class SliceSpec:
     time_limit: float | None = None
     engine_options: dict = field(default_factory=dict)
     faults: dict | None = None
+    #: content hash of the planned-against graph
+    #: (:func:`repro.artifacts.graph_key`); workers that resolve a
+    #: different hash refuse the slice outright — a stronger identity
+    #: check than the ``n_roots`` count, which can collide across
+    #: different graphs.  None on journals from before this field.
+    graph_key: str | None = None
 
     def validate(self) -> None:
         if not isinstance(self.slice_id, str) or not self.slice_id:
@@ -84,6 +90,7 @@ class SliceSpec:
             "dataset": self.dataset,
             "graph_path": self.graph_path,
             "edges": self.edges,
+            "graph_key": self.graph_key,
             "order": self.order,
             "seed": self.seed,
             "lo": self.lo,

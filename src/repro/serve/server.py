@@ -32,8 +32,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro import datasets
+from repro.artifacts import ArtifactStore, kinds
 from repro.bigraph.graph import BipartiteGraph
-from repro.bigraph.io import read_edge_list
 from repro.core.base import ALGORITHMS, Biclique, run_mbe
 from repro.core.io_results import read_bicliques
 from repro.obs.metrics import MetricRegistry
@@ -49,7 +49,7 @@ from repro.serve.jobs import (
     new_job_id,
 )
 from repro.serve.journal import JobJournal
-from repro.serve.queue import AdmissionError, BoundedJobQueue, estimate_cost
+from repro.serve.queue import AdmissionError, BoundedJobQueue
 from repro.serve.watchdog import DegradableCollector, MemoryWatchdog
 
 __all__ = ["EnumerationService", "ServiceConfig", "make_http_server",
@@ -59,10 +59,9 @@ __all__ = ["EnumerationService", "ServiceConfig", "make_http_server",
 #: one parallel run may execute per process at a time.
 _PARALLEL_LOCK = threading.Lock()
 
-#: Resolved graphs kept in RAM (graphs are immutable and shared freely
-#: across threads); root-count entries are just ints, so more of them.
+#: Decoded graphs kept in RAM above the artifact store (graphs are
+#: immutable and shared freely across threads).
 GRAPH_CACHE_SLOTS = 8
-ROOT_COUNT_CACHE_SLOTS = 64
 
 
 class JobNotFound(KeyError):
@@ -101,6 +100,14 @@ class ServiceConfig:
     journal_max_bytes: int | None = 4 * 1024 * 1024
     journal_max_terminal: int | None = 500
     journal_max_age: float | None = None
+    #: artifact store location (None = ``<state_dir>/artifacts``) and
+    #: size budget; the store holds parsed graphs, cost estimates, root
+    #: counts, and completed results shared across server lives
+    artifacts_dir: str | None = None
+    artifacts_max_bytes: int | None = 256 * 1024 * 1024
+    #: answer repeat jobs from cached complete results (journaled as
+    #: ``cache_hit``); False re-runs every submit
+    result_cache: bool = True
 
 
 class EnumerationService:
@@ -134,18 +141,29 @@ class EnumerationService:
             compact_max_age=config.journal_max_age,
         )
 
+        #: the on-disk artifact store: parsed graphs, cost estimates,
+        #: root counts and completed results, shared across server lives
+        #: and with every other entry point (docs/artifacts.md); cost and
+        #: root-count caching is thereby centrally size-bounded instead
+        #: of growing per-dataset dicts without limit
+        self.store = ArtifactStore(
+            config.artifacts_dir
+            or os.path.join(config.state_dir, "artifacts"),
+            max_bytes=config.artifacts_max_bytes,
+            registry=self.registry,
+        )
+
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._results: dict[str, list[Biclique]] = {}
         self._cancel_events: dict[str, threading.Event] = {}
         self._idempotency: dict[str, str] = {}
-        self._cost_cache: dict[str, int] = {}
-        #: resolved-graph cache: admission (submit / submit_slice) and
-        #: execution would otherwise re-read and re-parse the edge list
-        #: on every request — inside the HTTP handler thread, that can
-        #: blow past a coordinator's request timeout on large graphs
-        self._graph_cache: dict[tuple, BipartiteGraph] = {}
-        self._root_count_cache: dict[tuple, int] = {}
+        #: decoded-graph RAM layer above the store: admission (submit /
+        #: submit_slice) and execution would otherwise re-decode the CSR
+        #: payload on every request — inside the HTTP handler thread,
+        #: that can blow past a coordinator's request timeout on large
+        #: graphs.  Values are ``(graph, graph_key)``.
+        self._graph_cache: dict[tuple, tuple[BipartiteGraph, str]] = {}
         self._graph_cache_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -186,12 +204,16 @@ class EnumerationService:
         # terminal jobs: restore enough state to answer status queries
         for job_id, entry in self.journal.recovered.items():
             event = entry.get("event")
-            if event not in TERMINAL_STATES or "spec" not in entry:
+            # a cache_hit job finished the moment it was admitted: it is
+            # terminal (state "done"), never resumed
+            if (
+                event not in TERMINAL_STATES and event != "cache_hit"
+            ) or "spec" not in entry:
                 continue
             job = Job(
                 job_id=job_id,
                 spec=JobSpec.from_dict(entry["spec"]),
-                state=event,
+                state="done" if event == "cache_hit" else event,
                 summary=entry.get("summary") or {},
                 error=entry.get("error"),
                 recovered=True,
@@ -275,8 +297,12 @@ class EnumerationService:
                 known = self._idempotency.get(spec.idempotency_key)
                 if known is not None and known in self._jobs:
                     return self._jobs[known], True
-        graph = self._resolve_graph(spec)
-        self._admit_cost(spec, graph)
+        graph, graph_key = self._resolve_graph(spec)
+        self._admit_cost(spec, graph, graph_key)
+
+        cached = self._probe_result_cache(spec, graph_key)
+        if cached is not None:
+            return self._admit_cache_hit(spec, graph_key, cached), False
 
         job = Job(
             job_id=new_job_id(), spec=spec, submitted_at=time.time()
@@ -329,10 +355,32 @@ class EnumerationService:
             )
         return None
 
-    def _resolve_graph(self, spec: JobSpec) -> BipartiteGraph:
+    def _purge_stale_graph_entries(self, key: tuple) -> None:
+        """Drop RAM graph-cache entries for ``key``'s path whose
+        mtime/size no longer matches disk (the file was edited: the old
+        version will never be requested again, so holding its decoded
+        graph until LRU turnover is pure waste).  Caller holds the
+        graph-cache lock."""
+        if key[0] != "path":
+            return
+        stale = [
+            k for k in self._graph_cache
+            if k[0] == "path" and k[1] == key[1] and k != key
+        ]
+        for k in stale:
+            self._graph_cache.pop(k, None)
+
+    def _resolve_graph(self, spec: JobSpec) -> tuple[BipartiteGraph, str]:
+        """Resolve ``spec``'s graph; returns ``(graph, graph_key)``.
+
+        Layered: the bounded RAM dict holds decoded graphs for request
+        hot paths; beneath it the artifact store persists the parsed CSR
+        so even a fresh process never re-parses an unchanged file.
+        """
         key = self._graph_cache_key(spec)
         if key is not None:
             with self._graph_cache_lock:
+                self._purge_stale_graph_entries(key)
                 cached = self._graph_cache.get(key)
             if cached is not None:
                 return cached
@@ -342,30 +390,32 @@ class EnumerationService:
                     f"unknown dataset {spec.dataset!r}"
                 )
             graph = datasets.load(spec.dataset)
+            gk = kinds.graph_key(graph)
         elif spec.graph_path is not None:
             if not os.path.exists(spec.graph_path):
                 raise JobValidationError(
                     f"graph_path does not exist: {spec.graph_path}"
                 )
-            graph = read_edge_list(spec.graph_path, fmt=spec.fmt)
+            graph, gk, _cached = kinds.load_graph_cached(
+                spec.graph_path, self.store, fmt=spec.fmt
+            )
         else:
-            return BipartiteGraph([tuple(e) for e in spec.edges or ()])
+            graph = BipartiteGraph([tuple(e) for e in spec.edges or ()])
+            return graph, kinds.graph_key(graph)
         if key is not None:
             with self._graph_cache_lock:
                 while len(self._graph_cache) >= GRAPH_CACHE_SLOTS:
                     self._graph_cache.pop(next(iter(self._graph_cache)))
-                self._graph_cache[key] = graph
-        return graph
+                self._graph_cache[key] = (graph, gk)
+        return graph, gk
 
-    def _admit_cost(self, spec: JobSpec, graph: BipartiteGraph) -> None:
+    def _admit_cost(self, spec: JobSpec, graph: BipartiteGraph,
+                    graph_key: str) -> None:
         if self.config.max_cost is None:
             return
-        if spec.dataset is not None and spec.dataset in self._cost_cache:
-            cost = self._cost_cache[spec.dataset]
-        else:
-            cost = estimate_cost(graph)
-            if spec.dataset is not None:
-                self._cost_cache[spec.dataset] = cost
+        # persisted + size-bounded through the store (the old in-RAM
+        # per-dataset dict grew without limit and started cold each life)
+        cost = kinds.cached_cost(self.store, graph_key, graph)
         if cost > self.config.max_cost:
             self.registry.counter(
                 "serve_rejections_total", "refused submits",
@@ -379,6 +429,77 @@ class EnumerationService:
                     f"or raise --max-cost"
                 ),
             )
+
+    # -- result cache ------------------------------------------------------
+
+    @staticmethod
+    def _result_fingerprint(spec: JobSpec) -> str:
+        return kinds.result_fingerprint(
+            spec.engine, spec.min_left, spec.min_right, spec.engine_options
+        )
+
+    def _probe_result_cache(
+        self, spec: JobSpec, graph_key: str
+    ) -> dict[str, Any] | None:
+        """A cached complete answer for this spec, or None.
+
+        Only unconstrained-count jobs are answerable: ``max_bicliques``
+        / ``max_nodes`` ask for a possibly-truncated enumeration, which
+        a complete result is *not* (a ``time_limit`` is just a deadline,
+        which an instant answer trivially meets).  Fault-injection jobs
+        exist to exercise the failure path and must actually run.
+        """
+        if not self.config.result_cache or spec.faults:
+            return None
+        if spec.max_bicliques is not None or spec.max_nodes is not None:
+            return None
+        return kinds.get_cached_result(
+            self.store, graph_key, self._result_fingerprint(spec),
+            need_bicliques=spec.collect,
+        )
+
+    def _admit_cache_hit(
+        self, spec: JobSpec, graph_key: str, cached: dict[str, Any]
+    ) -> Job:
+        """Admit a job already answered by the result cache.
+
+        The job is born terminal: journaled ``submitted`` then
+        ``cache_hit`` (terminal on replay, so a restarted server serves
+        the same answer), results staged for ``GET /jobs/<id>/result``.
+        """
+        now = time.time()
+        job = Job(
+            job_id=new_job_id(), spec=spec, submitted_at=now,
+            started_at=now, finished_at=now, state="done",
+        )
+        job.summary = {
+            "engine": cached["engine"],
+            "count": cached["count"],
+            "complete": True,
+            "elapsed": 0.0,
+            "cache_hit": True,
+            "source_elapsed": cached["elapsed"],
+            "results": {"mode": "cache", "count": cached["count"]},
+        }
+        with self._lock:
+            if self._draining:
+                raise AdmissionError(
+                    status=503, reason="draining",
+                    detail="server is draining; not admitting new jobs",
+                )
+            self._jobs[job.job_id] = job
+            if spec.idempotency_key:
+                self._idempotency[spec.idempotency_key] = job.job_id
+            if spec.collect and cached.get("bicliques") is not None:
+                self._results[job.job_id] = [
+                    Biclique.make(left, right)
+                    for left, right in cached["bicliques"]
+                ]
+        self.journal.record_event(job, "submitted")
+        self.journal.record_event(job, "cache_hit", summary=job.summary)
+        self._jobs_counter("submitted").inc()
+        self._jobs_counter("cache_hit").inc()
+        return job
 
     # -- queries -----------------------------------------------------------
 
@@ -409,6 +530,21 @@ class EnumerationService:
             payload["bicliques"] = [
                 [list(b.left), list(b.right)] for b in ram
             ]
+        elif stored.get("mode") == "cache" and job.spec.collect:
+            # cache-hit results survive restarts in the artifact store;
+            # rehydrate instead of declaring them lost
+            try:
+                _graph, gk = self._resolve_graph(job.spec)
+                cached = kinds.get_cached_result(
+                    self.store, gk, self._result_fingerprint(job.spec),
+                    need_bicliques=True,
+                )
+            except Exception:  # noqa: BLE001 - missing file, etc.
+                cached = None
+            if cached is not None:
+                payload["bicliques"] = cached["bicliques"]
+            else:
+                payload["results_available"] = False
         elif stored.get("mode") == "spool":
             spool = stored.get("spool_path")
             if spool and os.path.exists(spool):
@@ -488,7 +624,6 @@ class EnumerationService:
         would silently be wrong.  Mismatches are permanent 400s — the
         coordinator must not retry them elsewhere-blindly.
         """
-        from repro.core.parallel import addressable_roots
         from repro.cluster.slices import SliceSpec
 
         if not isinstance(payload, dict) or "slice" not in payload:
@@ -507,33 +642,28 @@ class EnumerationService:
             )
         job_payload = spec.to_job_payload()
         job_payload.update(overrides)
-        # root-space exactness guard (resolve the graph the same way the
-        # job executor will, then compare root counts); cached so that
-        # retried / deduplicated submissions don't re-read the graph and
-        # re-order its roots inside the HTTP handler thread every time
+        # identity + root-space guards: resolve the graph the same way
+        # the job executor will, then (1) compare content hashes when the
+        # coordinator shipped one — stronger than any count heuristic —
+        # and (2) compare addressable-root counts; both persisted through
+        # the artifact store so retried / deduplicated submissions don't
+        # re-read the graph or re-order its roots inside the HTTP
+        # handler thread every time
         job_spec = JobSpec.from_dict(job_payload)
-        graph_key = self._graph_cache_key(job_spec)
-        roots_key = (
-            (graph_key, spec.order, spec.seed)
-            if graph_key is not None else None
-        )
-        local_roots: int | None = None
-        if roots_key is not None:
-            with self._graph_cache_lock:
-                local_roots = self._root_count_cache.get(roots_key)
-        if local_roots is None:
-            graph = self._resolve_graph(job_spec)
-            local_roots = len(
-                addressable_roots(graph, spec.order, seed=spec.seed)
+        graph, local_key = self._resolve_graph(job_spec)
+        if spec.graph_key is not None and spec.graph_key != local_key:
+            self.registry.counter(
+                "serve_slices_total", "federated slice submissions",
+                labels={"event": "graph_mismatch"},
+            ).inc()
+            raise JobValidationError(
+                f"graph content mismatch: worker resolved graph "
+                f"{local_key[:12]}…, slice was planned against "
+                f"{spec.graph_key[:12]}… (differing graph versions?)"
             )
-            if roots_key is not None:
-                with self._graph_cache_lock:
-                    while len(self._root_count_cache) >= \
-                            ROOT_COUNT_CACHE_SLOTS:
-                        self._root_count_cache.pop(
-                            next(iter(self._root_count_cache))
-                        )
-                    self._root_count_cache[roots_key] = local_roots
+        local_roots = kinds.cached_root_count(
+            self.store, local_key, graph, order=spec.order, seed=spec.seed
+        )
         if local_roots != spec.n_roots:
             self.registry.counter(
                 "serve_slices_total", "federated slice submissions",
@@ -634,7 +764,7 @@ class EnumerationService:
             )
         job_dir = os.path.join(self.jobs_dir, job.job_id)
         os.makedirs(job_dir, exist_ok=True)
-        graph = self._resolve_graph(spec)
+        graph, graph_key = self._resolve_graph(spec)
         watchdog = MemoryWatchdog(
             soft_limit_bytes=self.config.soft_limit_bytes,
             hard_limit_bytes=self.config.hard_limit_bytes,
@@ -708,10 +838,11 @@ class EnumerationService:
         self.registry.histogram(
             "serve_job_duration_seconds", "job wall-clock time"
         ).observe(elapsed)
-        self._finish_job(job, engine_used, result, collector, fallbacks)
+        self._finish_job(job, engine_used, result, collector, fallbacks,
+                         graph_key)
 
     def _finish_job(self, job, engine_used, result, collector,
-                    fallbacks) -> None:
+                    fallbacks, graph_key=None) -> None:
         job.finished_at = time.time()
         if result is None:
             job.state = "failed"
@@ -775,6 +906,29 @@ class EnumerationService:
             job.state = "done"
             self.journal.record_event(job, "done", summary=job.summary)
             self._jobs_counter("done").inc()
+            if (
+                self.config.result_cache
+                and graph_key is not None
+                and result.complete
+                and not job.spec.faults
+                # fallback-produced answers are deliberately not cached:
+                # the next identical submission must exercise the real
+                # engine (and its circuit breaker), not mask its failure
+                # behind a cache hit
+                and engine_used == job.spec.engine
+            ):
+                bicliques = None
+                if collector is not None and collector.mode == "collect":
+                    bicliques = [
+                        (list(b.left), list(b.right))
+                        for b in collector.results
+                    ]
+                kinds.put_cached_result(
+                    self.store, graph_key,
+                    self._result_fingerprint(job.spec),
+                    engine=engine_used, count=result.count,
+                    elapsed=result.elapsed, bicliques=bicliques,
+                )
 
 
 # --------------------------------------------------------------------------

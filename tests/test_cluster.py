@@ -133,6 +133,19 @@ class TestSliceSpec:
         assert self._spec(seed=1).fingerprint() != a.fingerprint()
         # a time limit changes execution, not identity
         assert self._spec(time_limit=9.0).fingerprint() == a.fingerprint()
+        # the graph's content hash is identity
+        assert self._spec(graph_key="a" * 64).fingerprint() != \
+            a.fingerprint()
+
+    def test_graph_key_round_trips_and_old_journals_load(self):
+        spec = self._spec(graph_key="a" * 64)
+        assert SliceSpec.from_dict(spec.as_dict()) == spec
+        # a journal written before the field existed still loads
+        legacy = {
+            k: v for k, v in self._spec().as_dict().items()
+            if k != "graph_key"
+        }
+        assert SliceSpec.from_dict(legacy).graph_key is None
 
     def test_job_payload_pins_engine_and_forbids_fallback(self):
         payload = self._spec().to_job_payload()
@@ -299,14 +312,32 @@ class TestWorkerSliceSurface:
             spec = plan_slices(g, 1, {"graph_path": str(gpath)})[0]
             job, dedup = service.submit_slice({"slice": spec.as_dict()})
             assert not dedup
-            assert len(service._root_count_cache) == 1
+            roots_entries = [
+                e for e in service.store.entries() if e.kind == "roots"
+            ]
+            assert len(roots_entries) == 1
             job_spec = JobSpec.from_dict(spec.to_job_payload())
-            cached_graph = service._resolve_graph(job_spec)
-            again, dedup2 = service.submit_slice({"slice": spec.as_dict()})
+            cached_graph, cached_key = service._resolve_graph(job_spec)
+            # redelivery must answer the root count from the artifact
+            # store, never by re-ordering the graph
+            import repro.core.parallel as parallel_mod
+
+            def boom(*args, **kwargs):  # pragma: no cover - guard
+                raise AssertionError("roots recomputed on redelivery")
+
+            real = parallel_mod.addressable_roots
+            parallel_mod.addressable_roots = boom
+            try:
+                again, dedup2 = service.submit_slice({"slice": spec.as_dict()})
+            finally:
+                parallel_mod.addressable_roots = real
             assert dedup2 and again.job_id == job.job_id
-            assert len(service._root_count_cache) == 1
+            assert len([
+                e for e in service.store.entries() if e.kind == "roots"
+            ]) == 1
             # the resolved graph itself is shared, not re-parsed
-            assert service._resolve_graph(job_spec) is cached_graph
+            assert service._resolve_graph(job_spec)[0] is cached_graph
+            assert service._resolve_graph(job_spec)[1] == cached_key
         finally:
             httpd.shutdown()
             service.drain(timeout=2)
@@ -322,6 +353,44 @@ class TestWorkerSliceSurface:
             )
             with pytest.raises(JobValidationError, match="root space"):
                 service.submit_slice({"slice": bad.as_dict()})
+        finally:
+            httpd.shutdown()
+            service.drain(timeout=2)
+
+    def test_graph_content_mismatch_is_permanent_400(self, tmp_path):
+        """A slice planned against different graph *content* is refused
+        even when the root-space count happens to collide."""
+        from repro.artifacts import graph_key
+        from repro.obs.sinks import prometheus_text
+
+        service, httpd, _url = _start_http_service(tmp_path, "w")
+        try:
+            g = BipartiteGraph([tuple(e) for e in EDGES])
+            spec = plan_slices(
+                g, 1, {"edges": EDGES}, graph_key=graph_key(g)
+            )[0]
+            # the honest key is accepted
+            job, dedup = service.submit_slice({"slice": spec.as_dict()})
+            assert not dedup and job.job_id
+            bad = SliceSpec.from_dict(
+                {**spec.as_dict(), "graph_key": "0" * 64}
+            )
+            with pytest.raises(
+                JobValidationError, match="graph content mismatch"
+            ):
+                service.submit_slice({"slice": bad.as_dict()})
+            samples = parse_prometheus_text(
+                prometheus_text(service.registry)
+            )
+            assert samples[
+                'serve_slices_total{event="graph_mismatch"}'
+            ] == 1.0
+            # a legacy slice with no key is accepted (old journals)
+            legacy = SliceSpec.from_dict(
+                {**spec.as_dict(), "graph_key": None, "lo": 0}
+            )
+            job2, dedup2 = service.submit_slice({"slice": legacy.as_dict()})
+            assert job2.job_id
         finally:
             httpd.shutdown()
             service.drain(timeout=2)
@@ -444,6 +513,20 @@ class TestReplayBookkeeping:
         ))
         coord._plan(coord._load_graph(source), source)
         return coord
+
+    def test_planned_slices_carry_the_graph_content_hash(self, tmp_path):
+        from repro.artifacts import graph_key
+
+        source = self._source(tmp_path)
+        coord = self._plan_only(tmp_path, source, [self.URL])
+        try:
+            g = coord._load_graph(source)
+            expected = graph_key(g)
+            assert coord._slices
+            for state in coord._slices.values():
+                assert state.spec.graph_key == expected
+        finally:
+            coord.close()
 
     def _source(self, tmp_path):
         gpath = tmp_path / "g.txt"

@@ -1055,14 +1055,17 @@ class TestGraphCache:
                 BipartiteGraph([tuple(e) for e in EDGES]), gpath
             )
             spec = JobSpec(graph_path=str(gpath))
-            first = service._resolve_graph(spec)
-            assert service._resolve_graph(spec) is first  # cache hit
+            first, first_key = service._resolve_graph(spec)
+            again, again_key = service._resolve_graph(spec)
+            assert again is first and again_key == first_key  # cache hit
             # rewriting the file must invalidate (mtime/size keyed)
             bigger = planted_bicliques(8, 8, 2, noise_edges=5, seed=1)
             write_edge_list(bigger, gpath)
-            fresh = service._resolve_graph(spec)
-            assert fresh is not first
+            fresh, fresh_key = service._resolve_graph(spec)
+            assert fresh is not first and fresh_key != first_key
             assert fresh.n_edges == bigger.n_edges
+            # the stale RAM entry for the old file state is purged
+            assert len(service._graph_cache) == 1
         finally:
             service.journal.close()
 
@@ -1073,8 +1076,8 @@ class TestGraphCache:
         try:
             name = sorted(datasets.names())[0]
             spec = JobSpec(dataset=name)
-            assert service._resolve_graph(spec) is \
-                service._resolve_graph(spec)
+            assert service._resolve_graph(spec)[0] is \
+                service._resolve_graph(spec)[0]
         finally:
             service.journal.close()
 
@@ -1083,9 +1086,190 @@ class TestGraphCache:
         try:
             spec = JobSpec(edges=EDGES)
             assert service._graph_cache_key(spec) is None
-            a = service._resolve_graph(spec)
-            b = service._resolve_graph(spec)
+            a, a_key = service._resolve_graph(spec)
+            b, b_key = service._resolve_graph(spec)
             assert a is not b and a.n_edges == b.n_edges
+            assert a_key == b_key  # same content, same identity
             assert not service._graph_cache
         finally:
             service.journal.close()
+
+
+# --------------------------------------------------------------------------
+# result cache (repeat jobs answered from the artifact store)
+
+
+class TestServeResultCache:
+    def _graph_file(self, tmp_path):
+        from repro.bigraph.io import write_edge_list
+
+        gpath = tmp_path / "g.txt"
+        write_edge_list(BipartiteGraph([tuple(e) for e in EDGES]), gpath)
+        return str(gpath)
+
+    def test_repeat_job_is_a_journaled_cache_hit(
+        self, tmp_path, monkeypatch
+    ):
+        gpath = self._graph_file(tmp_path)
+        service = _make_service(tmp_path)
+        try:
+            spec = {"engine": "mbet", "graph_path": gpath}
+            first, _ = service.submit(spec)
+            assert _wait_terminal(service, first.job_id) == "done"
+            expected = _expected_set()
+            # the repeat must be answered without parsing, ordering, or
+            # enumerating anything
+            import repro.bigraph.io as io_mod
+            import repro.bigraph.ordering as ordering_mod
+
+            def no_parse(*a, **k):  # pragma: no cover - guard
+                raise AssertionError("cache hit re-parsed the graph")
+
+            def no_order(*a, **k):  # pragma: no cover - guard
+                raise AssertionError("cache hit recomputed an ordering")
+
+            monkeypatch.setattr(io_mod, "read_edge_list", no_parse)
+            monkeypatch.setattr(ordering_mod, "_compute_order", no_order)
+            second, dedup = service.submit(spec)
+            assert not dedup and second.job_id != first.job_id
+            assert second.state == "done"  # born terminal
+            assert second.summary["cache_hit"] is True
+            assert second.summary["count"] == \
+                service.result(first.job_id)["summary"]["count"]
+            payload = service.result(second.job_id)
+            got = {
+                (tuple(left), tuple(right))
+                for left, right in payload["bicliques"]
+            }
+            assert got == expected
+            state = load_journal(service.journal.path)
+            assert state[second.job_id]["event"] == "cache_hit"
+            assert state[first.job_id]["event"] == "done"
+        finally:
+            service.drain(timeout=2)
+
+    def test_cache_hit_job_survives_restart(self, tmp_path):
+        gpath = self._graph_file(tmp_path)
+        service = _make_service(tmp_path)
+        try:
+            spec = {"engine": "mbet", "graph_path": gpath}
+            first, _ = service.submit(spec)
+            assert _wait_terminal(service, first.job_id) == "done"
+            second, _ = service.submit(spec)
+            assert second.summary.get("cache_hit") is True
+        finally:
+            service.drain(timeout=2)
+        # a restarted server still answers for the cache-hit job — state
+        # from the journal, bicliques rehydrated from the artifact store
+        reborn = _make_service(tmp_path, start=False)
+        try:
+            assert reborn.status(second.job_id)["state"] == "done"
+            payload = reborn.result(second.job_id)
+            assert payload["summary"]["cache_hit"] is True
+            got = {
+                (tuple(left), tuple(right))
+                for left, right in payload["bicliques"]
+            }
+            assert got == _expected_set()
+        finally:
+            reborn.drain(timeout=1)
+
+    def test_result_cache_shared_across_server_lives(self, tmp_path):
+        gpath = self._graph_file(tmp_path)
+        spec = {"engine": "mbet", "graph_path": gpath}
+        service = _make_service(tmp_path)
+        try:
+            job, _ = service.submit(spec)
+            assert _wait_terminal(service, job.job_id) == "done"
+        finally:
+            service.drain(timeout=2)
+        second_life = _make_service(tmp_path)
+        try:
+            job2, _ = second_life.submit(spec)
+            assert job2.summary.get("cache_hit") is True
+        finally:
+            second_life.drain(timeout=2)
+
+    def test_budget_capped_jobs_bypass_the_cache(self, tmp_path):
+        gpath = self._graph_file(tmp_path)
+        service = _make_service(tmp_path)
+        try:
+            spec = {"engine": "mbet", "graph_path": gpath}
+            first, _ = service.submit(spec)
+            assert _wait_terminal(service, first.job_id) == "done"
+            capped, _ = service.submit({**spec, "max_bicliques": 2})
+            # a capped job may legitimately truncate; it must run, not
+            # be answered with the full cached result
+            assert capped.summary.get("cache_hit") is None
+            assert _wait_terminal(service, capped.job_id) == "done"
+        finally:
+            service.drain(timeout=2)
+
+    def test_result_cache_disabled_by_config(self, tmp_path):
+        gpath = self._graph_file(tmp_path)
+        service = _make_service(tmp_path, result_cache=False)
+        try:
+            spec = {"engine": "mbet", "graph_path": gpath}
+            first, _ = service.submit(spec)
+            assert _wait_terminal(service, first.job_id) == "done"
+            second, _ = service.submit(spec)
+            assert second.summary.get("cache_hit") is None
+            assert _wait_terminal(service, second.job_id) == "done"
+        finally:
+            service.drain(timeout=2)
+
+    def test_corrupt_result_entry_reruns_with_correct_answer(
+        self, tmp_path
+    ):
+        from repro.artifacts import ArtifactStore
+
+        gpath = self._graph_file(tmp_path)
+        spec = {"engine": "mbet", "graph_path": gpath}
+        service = _make_service(tmp_path)
+        try:
+            job, _ = service.submit(spec)
+            assert _wait_terminal(service, job.job_id) == "done"
+        finally:
+            service.drain(timeout=2)
+        # corrupt the stored result on disk between server lives
+        probe = ArtifactStore(os.path.join(tmp_path, "state", "artifacts"))
+        results = [e for e in probe.entries() if e.kind == "result"]
+        assert len(results) == 1
+        with open(results[0].path, "w") as handle:
+            handle.write("corrupt")
+        second_life = _make_service(tmp_path)
+        try:
+            job2, _ = second_life.submit(spec)
+            # not served from cache — quarantined, recomputed, re-stored
+            assert job2.summary.get("cache_hit") is None
+            assert _wait_terminal(second_life, job2.job_id) == "done"
+            got = {
+                (tuple(left), tuple(right))
+                for left, right in second_life.result(job2.job_id)["bicliques"]
+            }
+            assert got == _expected_set()
+            assert os.listdir(second_life.store.quarantine_dir)
+            job3, _ = second_life.submit(spec)
+            assert job3.summary.get("cache_hit") is True
+        finally:
+            second_life.drain(timeout=2)
+
+    def test_cache_hit_metric_exported(self, tmp_path):
+        gpath = self._graph_file(tmp_path)
+        service = _make_service(tmp_path)
+        try:
+            spec = {"engine": "mbet", "graph_path": gpath}
+            job, _ = service.submit(spec)
+            assert _wait_terminal(service, job.job_id) == "done"
+            service.submit(spec)
+            from repro.obs.sinks import prometheus_text
+
+            text = prometheus_text(service.registry)
+            samples = parse_prometheus_text(text)
+            assert samples['serve_jobs_total{event="cache_hit"}'] == 1.0
+            # the store exports its own counters on the same registry
+            assert any(
+                key.startswith("artifacts_hits_total") for key in samples
+            )
+        finally:
+            service.drain(timeout=2)

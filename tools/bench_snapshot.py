@@ -61,7 +61,64 @@ def build_parser() -> argparse.ArgumentParser:
                              "comparison (empty string skips it)")
     parser.add_argument("--cluster-workers", type=int, default=2,
                         help="serve workers to federate over (default 2)")
+    parser.add_argument("--cache-dataset", default="mti",
+                        help="dataset for the cold-vs-warm artifact-cache "
+                             "comparison (empty string skips it)")
     return parser
+
+
+def cache_snapshot(dataset: str) -> dict:
+    """Time ``repro run --cache`` cold vs warm on one dataset.
+
+    Both runs are real CLI subprocesses against a fresh artifact store,
+    so the warm number includes every honest overhead *except* the work
+    the cache exists to skip: parsing, ordering, and enumeration.
+    """
+    import re
+
+    graph = datasets.load(dataset)
+    root = pathlib.Path(tempfile.mkdtemp(prefix="bench-cache-"))
+    gpath = root / f"{dataset}.txt"
+    from repro.bigraph.io import write_edge_list
+
+    write_edge_list(graph, gpath)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+    )
+    cmd = [sys.executable, "-m", "repro", "run", "--input", str(gpath),
+           "-a", "mbet", "--cache-dir", str(root / "store")]
+    timings = []
+    outputs = []
+    for _label in ("cold", "warm"):
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            cmd, cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        )
+        timings.append(time.perf_counter() - t0)
+        if proc.returncode != 0:
+            raise RuntimeError(f"cache bench run failed: {proc.stderr}")
+        outputs.append(proc.stdout)
+    counts = [
+        int(re.search(r"([\d,]+) maximal bicliques", out).group(1)
+            .replace(",", ""))
+        for out in outputs
+    ]
+    row = {
+        "dataset": dataset,
+        "count": counts[0],
+        "cold_seconds": round(timings[0], 4),
+        "warm_seconds": round(timings[1], 4),
+        "warm_is_cache_hit": "cached result" in outputs[1],
+        "counts_match": counts[0] == counts[1],
+    }
+    print(
+        f"  cache on {dataset}: cold {timings[0]:.3f}s vs warm "
+        f"{timings[1]:.3f}s "
+        f"({'hit' if row['warm_is_cache_hit'] else 'MISS'})",
+        file=sys.stderr,
+    )
+    return row
 
 
 def _boot_worker(state_dir: pathlib.Path) -> tuple[subprocess.Popen, str]:
@@ -187,6 +244,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.cluster_dataset:
         doc["cluster"] = cluster_snapshot(
             args.cluster_dataset, args.cluster_workers, args.time_limit)
+    if args.cache_dataset:
+        doc["cache"] = cache_snapshot(args.cache_dataset)
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     target = out_dir / f"BENCH_{date}.json"

@@ -8,9 +8,12 @@ serving story against a live process:
 2. a zoo-dataset job submits (202), polls to ``done``, and its result
    matches an in-process ``run_mbe`` of the same dataset exactly;
 3. idempotent resubmit returns the same job without re-running (200);
-4. ``/metrics`` parses with :func:`repro.obs.sinks.parse_prometheus_text`
+4. the same spec submitted as a *new* job is answered instantly from the
+   result cache: the response carries ``cache_hit``, the journal records
+   a ``cache_hit`` event, and the served bicliques still match exactly;
+5. ``/metrics`` parses with :func:`repro.obs.sinks.parse_prometheus_text`
    and reports the completed job;
-5. SIGTERM drains cleanly: exit code 0 and the drain banner on stdout.
+6. SIGTERM drains cleanly: exit code 0 and the drain banner on stdout.
 
 Exits non-zero on the first discrepancy.  Usage::
 
@@ -86,13 +89,13 @@ def main(argv: list[str] | None = None) -> int:
                 fail("server never wrote its port file")
             time.sleep(0.05)
         base = f"http://127.0.0.1:{int(port_file.read_text())}"
-        print(f"[1/5] server up at {base}, probing health ...")
+        print(f"[1/6] server up at {base}, probing health ...")
         for path in ("/healthz", "/readyz"):
             status, _ = request(base, path)
             if status != 200:
                 fail(f"{path} answered {status}")
 
-        print("[2/5] submitting zoo job, polling to completion ...")
+        print("[2/6] submitting zoo job, polling to completion ...")
         spec = {"engine": "mbet", "dataset": args.dataset,
                 "idempotency_key": "smoke-1"}
         status, job = request(base, "/jobs", spec)
@@ -119,12 +122,38 @@ def main(argv: list[str] | None = None) -> int:
         print(f"      done via {job['summary']['engine']}: "
               f"{len(got)} bicliques, exact match")
 
-        print("[3/5] idempotent resubmit ...")
+        print("[3/6] idempotent resubmit ...")
         status, dup = request(base, "/jobs", spec)
         if status != 200 or dup["job_id"] != job_id or not dup["deduplicated"]:
             fail(f"resubmit not deduplicated: {status} {dup}")
 
-        print("[4/5] /metrics parse-back ...")
+        print("[4/6] repeat job answered from the result cache ...")
+        fresh_spec = {"engine": "mbet", "dataset": args.dataset}
+        status, hit = request(base, "/jobs", fresh_spec)
+        if status != 202 or hit["job_id"] == job_id:
+            fail(f"repeat submit not a new job: {status} {hit}")
+        status, hit_status = request(base, f"/jobs/{hit['job_id']}")
+        if hit_status["state"] != "done" or not \
+                hit_status.get("summary", {}).get("cache_hit"):
+            fail(f"repeat job not a cache hit: {hit_status}")
+        status, hit_result = request(
+            base, f"/jobs/{hit['job_id']}/result"
+        )
+        got = {(tuple(b[0]), tuple(b[1])) for b in hit_result["bicliques"]}
+        if status != 200 or got != truth:
+            fail("cache-hit result differs from the original run")
+        journal = (state_dir / "journal.jsonl").read_text()
+        events = [
+            json.loads(line)["event"]
+            for line in journal.splitlines()
+            if json.loads(line).get("job_id") == hit["job_id"]
+        ]
+        if "cache_hit" not in events:
+            fail(f"journal has no cache_hit event for repeat job: {events}")
+        print(f"      cache hit journaled, {len(got)} bicliques, "
+              "exact match, zero recomputation")
+
+        print("[5/6] /metrics parse-back ...")
         with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
             metrics = parse_prometheus_text(resp.read().decode())
         done = metrics.get('serve_jobs_total{event="done"}', 0.0)
@@ -132,8 +161,12 @@ def main(argv: list[str] | None = None) -> int:
             fail(f"serve_jobs_total{{event=done}} missing or zero: {done}")
         if "serve_queue_depth" not in metrics:
             fail("serve_queue_depth gauge missing from /metrics")
+        if metrics.get('serve_jobs_total{event="cache_hit"}', 0.0) < 1:
+            fail("serve_jobs_total{event=cache_hit} missing or zero")
+        if not any(k.startswith("artifacts_hits_total") for k in metrics):
+            fail("artifacts_hits_total missing from /metrics")
 
-        print("[5/5] SIGTERM, expecting a clean drain ...")
+        print("[6/6] SIGTERM, expecting a clean drain ...")
         proc.send_signal(signal.SIGTERM)
         out, _ = proc.communicate(timeout=30)
         if proc.returncode != 0:
