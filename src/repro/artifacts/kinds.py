@@ -21,8 +21,9 @@ Kinds
 ``stats``
     The :class:`repro.bigraph.stats.GraphStats` row.
 ``cost``
-    The admission estimate ``|E| · max(1, D₂)`` (same formula as
-    :func:`repro.serve.queue.estimate_cost`).
+    The admission estimate ``|E| · max(1, D₂)`` (the planner's
+    :func:`repro.plan.model.estimate_cost`, which serve admission also
+    gates on).
 ``roots``
     The count of addressable enumeration roots for a given
     ``order:seed`` (cluster slice planning / worker verification).
@@ -240,9 +241,9 @@ def cached_cost(
     store: ArtifactStore, gk: str, graph: BipartiteGraph
 ) -> int:
     """The admission cost estimate ``|E| · max(1, D₂)``."""
-    stats = cached_stats(store, gk, graph)
-    d2 = max(stats.max_two_hop_u, stats.max_two_hop_v)
-    return stats.n_edges * max(1, d2)
+    from repro.plan.model import cost_from_stats
+
+    return cost_from_stats(cached_stats(store, gk, graph))
 
 
 def cached_root_count(

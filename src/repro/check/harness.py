@@ -32,6 +32,7 @@ from repro.check.oracles import (
     agreement_oracle,
     budget_prefix_oracle,
     kill_resume_oracle,
+    plan_oracle,
     relabel_oracle,
     swap_oracle,
     threshold_oracle,
@@ -42,7 +43,7 @@ from repro.check.shrink import shrink_graph
 #: Oracle names the harness knows how to schedule.
 ALL_ORACLES: tuple[str, ...] = (
     "agreement", "relabel", "swap", "threshold", "budget_prefix",
-    "kill_resume",
+    "kill_resume", "plan",
 )
 
 #: Run the kill/resume oracle only on every Nth random case — it runs the
@@ -156,6 +157,13 @@ def _case_oracles(
         ))
     if "kill_resume" in wanted and case_index % KILL_RESUME_EVERY == 0:
         battery.append(("kill_resume", kill_resume_oracle()))
+    if "plan" in wanted:
+        battery.append((
+            "plan",
+            plan_oracle(
+                min_left=rng.randint(1, 3), min_right=rng.randint(1, 3)
+            ),
+        ))
     return battery
 
 

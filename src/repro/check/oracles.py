@@ -21,6 +21,9 @@ Oracles
                    only incomplete when the cap actually bound.
 ``kill_resume``    kill/resume parity: a checkpointed parallel run killed
                    partway and resumed matches an uninterrupted run.
+``plan``           planner soundness: the configuration ``repro.plan``
+                   picks for the graph enumerates the exact maximal
+                   biclique set the reference produces.
 """
 
 from __future__ import annotations
@@ -246,6 +249,51 @@ def budget_prefix_oracle(engine: EngineSpec, cap: int = 3) -> Oracle:
                 "budget_prefix", engine.label(),
                 f"incomplete run undershot the cap: {partial.count} < "
                 f"min({cap}, {len(full)})",
+            )
+        return None
+
+    return check
+
+
+def plan_oracle(min_left: int = 1, min_right: int = 1) -> Oracle:
+    """The planner-chosen configuration enumerates the exact result set.
+
+    Builds a plan for the graph (thresholds included, single core so the
+    choice is deterministic), runs the chosen engine with the chosen
+    thresholds, and compares against a reference enumeration filtered to
+    the same thresholds.  This is the end-to-end guarantee the planner
+    owes its callers: whatever the cost model ranks first must still be
+    *correct* — speed predictions may be wrong, answers may not.
+    """
+
+    def check(graph: BipartiteGraph) -> OracleFailure | None:
+        from repro.plan import PlanError, build_plan
+
+        try:
+            plan = build_plan(
+                graph, min_left=min_left, min_right=min_right, n_cores=1
+            )
+            chosen = plan.chosen
+        except PlanError as exc:
+            return OracleFailure("plan", "planner", str(exc))
+        if min(graph.n_u, graph.n_v) <= BRUTEFORCE_MAX_SIDE:
+            ref = EngineSpec.make("bruteforce")
+        else:
+            ref = EngineSpec.make("mbet")
+        truth = frozenset(
+            b for b in ref.result_set(graph)
+            if len(b.left) >= min_left and len(b.right) >= min_right
+        )
+        opts: dict[str, int] = {}
+        if min_left > 1 or min_right > 1:
+            opts = {"min_left": min_left, "min_right": min_right}
+        spec = EngineSpec.make(chosen.engine, **opts)
+        got = spec.result_set(graph)
+        if got != truth:
+            return OracleFailure(
+                "plan", spec.label(),
+                f"planner-chosen engine diverges from {ref.label()}: "
+                + _diff(got, truth),
             )
         return None
 

@@ -3,6 +3,8 @@
 Subcommands
 -----------
 ``run``          enumerate maximal bicliques of a zoo dataset or edge list
+``plan``         cost-model plan: engine/ordering/parallelism/budget for a
+                 graph, with per-candidate scores (docs/planning.md)
 ``serve``        run the embedded enumeration service (docs/serving.md)
 ``cluster``      coordinate a federated job across serve workers
                  (docs/cluster.md)
@@ -167,14 +169,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro import artifacts
 
         store = artifacts.open_store(args.cache_dir)
-        result_fp = artifacts.result_fingerprint(args.algorithm)
-        if args.input and not budgeted and args.checkpoint is None:
+        if (
+            args.algorithm is not None
+            and args.input
+            and not budgeted
+            and args.checkpoint is None
+        ):
             # warm path: an unchanged file's key comes from the source
             # index, so a repeat run can finish without touching the graph
+            # (planned runs skip this: the planner needs the graph)
             gk = artifacts.peek_graph_key(args.input, store, fmt=args.format)
             if gk is not None:
                 hit = artifacts.get_cached_result(
-                    store, gk, result_fp,
+                    store, gk, artifacts.result_fingerprint(args.algorithm),
                     need_bicliques=args.output is not None,
                 )
                 if hit is not None:
@@ -187,15 +194,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 args.input, store, fmt=args.format
             )
             name = args.input
-        if not budgeted and args.checkpoint is None:
-            hit = artifacts.get_cached_result(
-                store, gk, result_fp,
-                need_bicliques=args.output is not None,
-            )
-            if hit is not None:
-                return _emit_cached_run(args, name, hit)
     else:
         graph, name = _load_graph(args)
+    if args.algorithm is None:
+        # no explicit --algorithm: the cost-model planner picks the
+        # engine for this graph (docs/planning.md)
+        from repro.plan import build_plan
+
+        plan = build_plan(graph, graph_key=gk, store=store)
+        args.algorithm = plan.chosen.engine
+        print(
+            f"planned: engine={plan.chosen.engine} "
+            f"predicted={plan.chosen.predicted_seconds:.3f}s "
+            f"('repro plan' explains; --algorithm overrides)",
+            file=sys.stderr,
+        )
+    if store is not None and not budgeted and args.checkpoint is None:
+        from repro import artifacts
+
+        hit = artifacts.get_cached_result(
+            store, gk, artifacts.result_fingerprint(args.algorithm),
+            need_bicliques=args.output is not None,
+        )
+        if hit is not None:
+            return _emit_cached_run(args, name, hit)
     collect = args.output is not None
     options = {}
     if args.checkpoint is not None:
@@ -310,6 +332,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Print the planner's choice (and, with --explain, the full ranking)."""
+    import json as _json
+
+    from repro.plan import PlanError, build_plan
+
+    store = None
+    gk = None
+    if _run_cache_enabled(args):
+        from repro import artifacts
+
+        store = artifacts.open_store(args.cache_dir)
+        if args.dataset:
+            graph, name = datasets.load(args.dataset), args.dataset
+            gk = artifacts.graph_key(graph)
+        else:
+            graph, gk, _was_cached = artifacts.load_graph_cached(
+                args.input, store, fmt=args.format
+            )
+            name = args.input
+    else:
+        graph, name = _load_graph(args)
+    engines = (
+        tuple(e for e in args.engines.split(",") if e)
+        if args.engines else None
+    )
+    try:
+        plan = build_plan(
+            graph, graph_key=gk, store=store, engines=engines,
+            min_left=args.min_left, min_right=args.min_right,
+            n_cores=args.cores,
+        )
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(plan.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"plan for {name}:")
+    if args.explain:
+        print(plan.explain())
+    else:
+        chosen = plan.chosen
+        print(
+            f"engine={chosen.engine} ordering={chosen.ordering} "
+            f"workers={chosen.workers} budget={plan.budget_seconds:.1f}s "
+            f"predicted={chosen.predicted_seconds:.4f}s"
+        )
+        print("(--explain lists every candidate with scores and reasons)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the embedded enumeration service until SIGTERM/SIGINT."""
     from repro.serve import ServiceConfig, run_server
@@ -362,7 +436,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         heartbeat_interval=args.heartbeat_interval,
         heartbeat_timeout=args.heartbeat_timeout,
         max_slice_retries=args.max_retries,
-        straggler_factor=args.straggler_factor or None,
+        straggler_factor=(
+            "auto" if args.straggler_factor == "auto"
+            else float(args.straggler_factor) or None
+        ),
         collect=args.output is not None,
     )
     coordinator = ClusterCoordinator(config)
@@ -864,10 +941,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream heartbeats to stderr: a live tty line "
                             "(default) or machine-readable JSONL")
 
+    def add_cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache", action="store_true",
+                       help="reuse parsed graphs, orderings and complete "
+                            "results through the artifact store "
+                            "(docs/artifacts.md)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="force cache off (overrides --cache/--cache-dir)")
+        p.add_argument("--cache-dir", default=None,
+                       help="artifact store directory (implies --cache; "
+                            "default $REPRO_ARTIFACTS_DIR or "
+                            "~/.cache/repro-mbe/artifacts)")
+
     p_run = sub.add_parser("run", help="enumerate maximal bicliques")
     add_graph_source(p_run)
-    p_run.add_argument("--algorithm", "-a", default="mbet",
-                       choices=available_algorithms())
+    p_run.add_argument("--algorithm", "-a", default=None,
+                       choices=available_algorithms(),
+                       help="engine to run; omitted, the cost-model "
+                            "planner picks one for this graph "
+                            "('repro plan' explains the choice)")
     p_run.add_argument("--max-bicliques", type=int, default=None)
     p_run.add_argument("--time-limit", type=float, default=None)
     p_run.add_argument("--max-nodes", type=int, default=None,
@@ -877,18 +969,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "runs (requires --algorithm parallel)")
     p_run.add_argument("--output", "-o", default=None,
                        help="write bicliques as 'u1,u2\\tv1,v2' lines")
-    p_run.add_argument("--cache", action="store_true",
-                       help="reuse parsed graphs, orderings and complete "
-                            "results through the artifact store "
-                            "(docs/artifacts.md)")
-    p_run.add_argument("--no-cache", action="store_true",
-                       help="force cache off (overrides --cache/--cache-dir)")
-    p_run.add_argument("--cache-dir", default=None,
-                       help="artifact store directory (implies --cache; "
-                            "default $REPRO_ARTIFACTS_DIR or "
-                            "~/.cache/repro-mbe/artifacts)")
+    add_cache_flags(p_run)
     add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="explain which engine/ordering/budget the planner would pick "
+             "(docs/planning.md)",
+    )
+    add_graph_source(p_plan)
+    p_plan.add_argument("--min-left", type=int, default=1)
+    p_plan.add_argument("--min-right", type=int, default=1)
+    p_plan.add_argument("--engines", default=None,
+                        help="comma-separated candidate pool (default: the "
+                             "planner's built-in pool)")
+    p_plan.add_argument("--cores", type=int, default=None,
+                        help="cores assumed for the parallel candidate "
+                             "(default: os.cpu_count())")
+    p_plan.add_argument("--explain", action="store_true",
+                        help="print the full candidate table with "
+                             "per-candidate predictions and reasons")
+    p_plan.add_argument("--json", action="store_true",
+                        help="emit the plan as JSON instead of text")
+    add_cache_flags(p_plan)
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_srv = sub.add_parser(
         "serve",
@@ -981,9 +1086,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "dead and its slices reassigned")
     p_coord.add_argument("--max-retries", type=int, default=4,
                          help="re-dispatches of one slice before giving up")
-    p_coord.add_argument("--straggler-factor", type=float, default=4.0,
+    p_coord.add_argument("--straggler-factor", default="auto",
                          help="re-split an in-flight slice running longer "
-                              "than this multiple of the median; 0 disables")
+                              "than this multiple of the median; 'auto' "
+                              "(default) derives it from root-cost skew, "
+                              "0 disables")
     p_coord.add_argument("--output", "-o", default=None,
                          help="write the merged bicliques to this file")
     p_coord.add_argument("--metrics-out", default=None,

@@ -42,8 +42,9 @@ from repro.bigraph.graph import BipartiteGraph
 from repro.bigraph.io import read_edge_list
 from repro.core.base import Biclique
 from repro.core.io_results import BicliqueWriter, read_bicliques
-from repro.core.parallel import addressable_roots
+from repro.core.parallel import addressable_roots, subtree_estimate
 from repro.cluster.client import WorkerClient, WorkerUnreachable
+from repro.plan import recommend_slices, recommend_straggler_factor
 from repro.cluster.journal import ClusterJournal
 from repro.cluster.slices import RangeCoverage, SliceSpec, plan_slices
 from repro.obs.metrics import MetricRegistry
@@ -61,8 +62,9 @@ class ClusterConfig:
 
     state_dir: str
     workers: list[str] = field(default_factory=list)
-    #: slice count; default ``2 * len(workers)`` (some over-partitioning
-    #: keeps reassignment granular without per-root chatter)
+    #: slice count; None asks the planner
+    #: (:func:`repro.plan.recommend_slices`): ``2 × workers`` baseline,
+    #: finer on graphs whose per-root cost estimates are heavy-tailed
     n_slices: int | None = None
     order: str = "degree"
     seed: int = 0
@@ -79,8 +81,11 @@ class ClusterConfig:
     retry_jitter: float = 0.25
     #: re-split an in-flight slice once it runs longer than
     #: ``straggler_factor ×`` the median completed-slice duration;
-    #: None disables straggler mitigation
-    straggler_factor: float | None = 4.0
+    #: ``"auto"`` (default) derives the factor from the planner's
+    #: per-root cost skew (a slice holding the heaviest root
+    #: legitimately runs ``skew ×`` the typical one, so skewed graphs
+    #: get a laxer threshold); None disables straggler mitigation
+    straggler_factor: float | str | None = "auto"
     straggler_min_completed: int = 3
     #: concurrent slices per worker (the parallel engine serialises
     #: per-process, so more than 1 mostly queues)
@@ -169,6 +174,9 @@ class ClusterCoordinator:
         self._results: list[Biclique] = []
         self._count = 0
         self._durations: list[float] = []
+        #: straggler threshold resolved at plan time ("auto" → derived
+        #: from the per-root cost skew; None = mitigation disabled)
+        self._straggler_factor: float | None = None
 
     # -- identity / observability -----------------------------------------
 
@@ -240,9 +248,16 @@ class ClusterCoordinator:
 
     def _plan(self, graph: BipartiteGraph, source: dict) -> tuple[str, int]:
         cfg = self.config
-        n_roots = len(
-            addressable_roots(graph, cfg.order, seed=cfg.seed)
-        )
+        roots = addressable_roots(graph, cfg.order, seed=cfg.seed)
+        n_roots = len(roots)
+        # the planner's per-root cost estimates drive both knobs that
+        # used to be guessed: how many slices to cut and how long an
+        # in-flight slice may run before it counts as a straggler
+        estimates = [subtree_estimate(graph, v)[0] for v in roots]
+        if cfg.straggler_factor == "auto":
+            self._straggler_factor = recommend_straggler_factor(estimates)
+        elif cfg.straggler_factor is not None:
+            self._straggler_factor = float(cfg.straggler_factor)
         fingerprint = self._job_fingerprint(source, n_roots)
         plan = self.journal.recovered_plan
         if plan is not None:
@@ -254,7 +269,9 @@ class ClusterCoordinator:
                 )
             specs = [SliceSpec.from_dict(d) for d in plan["slices"]]
         else:
-            n_slices = cfg.n_slices or max(1, 2 * len(cfg.workers))
+            n_slices = cfg.n_slices or recommend_slices(
+                len(cfg.workers), estimates
+            )
             source_fields = {
                 k: source.get(k)
                 for k in ("dataset", "graph_path", "edges")
@@ -696,12 +713,12 @@ class ClusterCoordinator:
 
     def _check_stragglers(self) -> None:
         cfg = self.config
-        if cfg.straggler_factor is None:
+        if self._straggler_factor is None:
             return
         if len(self._durations) < cfg.straggler_min_completed:
             return
         median = statistics.median(self._durations)
-        limit = max(0.5, cfg.straggler_factor * median)
+        limit = max(0.5, self._straggler_factor * median)
         now = time.monotonic()
         for state in list(self._slices.values()):
             if state.status != "inflight" or state.resplit:
@@ -830,6 +847,7 @@ class ClusterCoordinator:
                 for url, w in self._workers.items()
             },
             "coordinator_id": self.coordinator_id,
+            "straggler_factor": self._straggler_factor,
         }
         if failures:
             meta["failures"] = failures

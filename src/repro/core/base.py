@@ -15,6 +15,7 @@ from __future__ import annotations
 import sys
 import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -307,6 +308,26 @@ class MBEAlgorithm(ABC):
     def __init__(self, orient_smaller_v: bool = False):
         self.orient_smaller_v = orient_smaller_v
 
+    @contextmanager
+    def _oriented_thresholds(self, swapped: bool):
+        """Swap ``min_left``/``min_right`` while enumerating a swapped graph.
+
+        Size thresholds are stated in the caller's coordinates; once
+        orientation swaps the sides, the constraint on the caller's left
+        side binds the work graph's right side and vice versa.  Engines
+        without thresholds pass through untouched.
+        """
+        ml = getattr(self, "min_left", None)
+        mr = getattr(self, "min_right", None)
+        if not swapped or ml is None or mr is None or ml == mr:
+            yield
+            return
+        self.min_left, self.min_right = mr, ml
+        try:
+            yield
+        finally:
+            self.min_left, self.min_right = ml, mr
+
     @abstractmethod
     def _enumerate(
         self,
@@ -397,7 +418,7 @@ class MBEAlgorithm(ABC):
         self._guard = guard
         self._instr = instr
         try:
-            with instr.phase("enumerate"):
+            with instr.phase("enumerate"), self._oriented_thresholds(swapped):
                 self._enumerate(work_graph, sink, stats)
         except BudgetExceeded as exc:
             complete = False

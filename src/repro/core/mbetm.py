@@ -97,23 +97,24 @@ class MBETM(MBET):
         self._guard = guard
         self._instr = instr
         try:
-            for sub in iter_subproblems(
-                work_graph, self.order, seed=self.seed, guard=guard
-            ):
-                if not self._accept_subproblem(sub, stats):
-                    continue
-                stats.subtrees += 1
-                batch: list[Biclique] = []
+            with self._oriented_thresholds(swapped):
+                for sub in iter_subproblems(
+                    work_graph, self.order, seed=self.seed, guard=guard
+                ):
+                    if not self._accept_subproblem(sub, stats):
+                        continue
+                    stats.subtrees += 1
+                    batch: list[Biclique] = []
 
-                def collect(left, right, _batch=batch):
-                    _batch.append(Biclique.make(left, right))
+                    def collect(left, right, _batch=batch):
+                        _batch.append(Biclique.make(left, right))
 
-                self._run_subproblem(sub, collect, stats)
-                stats.maximal += len(batch)
-                instr.pulse(stats)
-                now = time.perf_counter() - start
-                for b in batch:
-                    yield (now, b.swap() if swapped else b)
+                    self._run_subproblem(sub, collect, stats)
+                    stats.maximal += len(batch)
+                    instr.pulse(stats)
+                    now = time.perf_counter() - start
+                    for b in batch:
+                        yield (now, b.swap() if swapped else b)
         except BudgetExceeded:
             return
         finally:

@@ -533,11 +533,13 @@ class ParallelMBE(MBEAlgorithm):
             else:
                 for b in items:
                     on_biclique(b)
+        # thresholds are stated in caller coordinates; a swapped work
+        # graph swaps which side each one binds
         algo_options = {
             "order": self.order,
             "seed": self.seed,
-            "min_left": self.min_left,
-            "min_right": self.min_right,
+            "min_left": self.min_right if swapped else self.min_left,
+            "min_right": self.min_left if swapped else self.min_right,
         }
         with instr.phase("decompose"):
             rank = rank_of(vertex_order(work_graph, self.order, seed=self.seed))

@@ -1,0 +1,146 @@
+"""Plan-relevant graph signatures: what the cost model scores against.
+
+The planner never looks at a graph directly — it looks at a
+:class:`PlanFeatures` row, a small JSON-round-trippable signature holding
+exactly the quantities the MBE literature's crossover analysis turns on:
+
+* **size** — side sizes and edge count,
+* **density** — ``|E| / (|U|·|V|)``, the dense-vs-sparse axis along which
+  MBET's prefix-tree batching flips from win to overhead,
+* **degree skew** — max/mean degree ratio, the hub-dominated regime where
+  pivot choice and ordering matter most,
+* **2-hop bound** — ``D₂ = max(D₂(U), D₂(V))`` and the admission cost
+  estimate ``|E| · max(1, D₂)`` built on it (the same pre-flight number
+  ``repro serve`` gates on; see :mod:`repro.plan.model`),
+* **component structure** — how much of the graph one connected
+  component holds, which bounds what sharding can buy.
+
+Extraction reuses the persisted ``stats`` / ``components`` artifacts when
+a store is available and caches the finished feature row itself (kind
+``plan_features``), so repeat planning against the same graph skips the
+2-hop scan entirely and goes straight to scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import TYPE_CHECKING, Any
+
+from repro.bigraph.graph import BipartiteGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.artifacts.store import ArtifactStore
+
+__all__ = ["FEATURES_VERSION", "PlanFeatures", "cached_features",
+           "extract_features"]
+
+#: Fingerprint of the extraction recipe; bump when fields change so a
+#: stale cached row is a miss, never a silently wrong signature.
+FEATURES_VERSION = "v1"
+
+
+@dataclass(frozen=True)
+class PlanFeatures:
+    """One graph's plan-relevant signature (JSON-round-trippable)."""
+
+    n_u: int
+    n_v: int
+    n_edges: int
+    #: ``|E| / (|U|·|V|)`` (0.0 for an empty side)
+    density: float
+    max_degree_u: int
+    max_degree_v: int
+    #: mean degree of the denser-characterised side, ``|E| / min(|U|,|V|)``
+    avg_degree: float
+    #: ``max(D(U), D(V)) / mean degree`` — hub dominance (1.0 = regular)
+    degree_skew: float
+    #: ``max(D₂(U), D₂(V))``: the candidate-universe bound per subtree
+    max_two_hop: int
+    #: admission cost estimate ``|E| · max(1, D₂)``
+    cost: int
+    n_components: int
+    #: fraction of all vertices inside the largest component
+    largest_component_frac: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PlanFeatures":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def extract_features(graph: BipartiteGraph) -> PlanFeatures:
+    """Compute the signature directly (no store; the 2-hop scan runs)."""
+    from repro.bigraph.components import connected_components
+    from repro.bigraph.stats import compute_stats
+
+    stats = compute_stats(graph)
+    components = connected_components(graph)
+    return _assemble(
+        stats.as_row(),
+        [[us, vs] for us, vs in components],
+    )
+
+
+def cached_features(
+    store: "ArtifactStore", graph_key: str, graph: BipartiteGraph
+) -> PlanFeatures:
+    """The signature through the artifact store, computed at most once.
+
+    Layered on the persisted ``stats`` and ``components`` artifacts, so
+    even a feature-cache miss reuses whatever the admission path or the
+    cluster planner already paid for; the assembled row itself is stored
+    under kind ``plan_features`` keyed by the graph's content hash.
+    """
+    from repro.artifacts.kinds import cached_components, cached_stats
+
+    payload = store.get_or_build(
+        graph_key, "plan_features",
+        lambda: _assemble(
+            cached_stats(store, graph_key, graph).as_row(),
+            [
+                [us, vs]
+                for us, vs in cached_components(store, graph_key, graph)
+            ],
+        ).as_dict(),
+        fingerprint=FEATURES_VERSION,
+    )
+    return PlanFeatures.from_dict(payload)
+
+
+def _assemble(
+    stats_row: dict[str, Any], components: list[list[list[int]]]
+) -> PlanFeatures:
+    n_u = int(stats_row["n_u"])
+    n_v = int(stats_row["n_v"])
+    n_edges = int(stats_row["n_edges"])
+    max_deg = max(
+        int(stats_row["max_degree_u"]), int(stats_row["max_degree_v"])
+    )
+    d2 = max(
+        int(stats_row["max_two_hop_u"]), int(stats_row["max_two_hop_v"])
+    )
+    smaller_side = min(n_u, n_v)
+    avg_degree = (n_edges / smaller_side) if smaller_side else 0.0
+    n_vertices = n_u + n_v
+    largest = max(
+        (len(us) + len(vs) for us, vs in components), default=0
+    )
+    return PlanFeatures(
+        n_u=n_u,
+        n_v=n_v,
+        n_edges=n_edges,
+        density=float(stats_row["density"]),
+        max_degree_u=int(stats_row["max_degree_u"]),
+        max_degree_v=int(stats_row["max_degree_v"]),
+        avg_degree=avg_degree,
+        degree_skew=(max_deg / avg_degree) if avg_degree else 1.0,
+        max_two_hop=d2,
+        cost=n_edges * max(1, d2),
+        n_components=len(components),
+        largest_component_frac=(
+            largest / n_vertices if n_vertices else 0.0
+        ),
+    )

@@ -1,0 +1,413 @@
+"""The engine planner: score candidates, pick one, explain the choice.
+
+:func:`build_plan` turns a graph (or a precomputed
+:class:`~repro.plan.features.PlanFeatures` signature) into an
+explainable :class:`Plan`: every candidate ``(engine, ordering,
+parallelism)`` the registry offers is scored by the cost model
+(:mod:`repro.plan.model`), ineligible candidates are kept with the
+reason they were rejected, and live circuit-breaker state composes in
+as *demotion* — an engine whose breaker is open keeps its score but
+ranks after every healthy candidate, so the service tries it last
+rather than never.
+
+The ranked chain (:meth:`Plan.engine_chain`) is what ``repro serve``
+executes in place of its old hardcoded fallback chain; ``repro run``
+uses the top candidate when no ``--algorithm`` is given; the cluster
+coordinator sizes slices and straggler thresholds from the same per-root
+estimates via :func:`recommend_slices` /
+:func:`recommend_straggler_factor`.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.plan.features import PlanFeatures, cached_features, extract_features
+from repro.plan.model import MODEL_VERSION, CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.artifacts.store import ArtifactStore
+    from repro.bigraph.graph import BipartiteGraph
+
+__all__ = [
+    "Plan",
+    "PlanCandidate",
+    "PlanError",
+    "build_plan",
+    "recommend_slices",
+    "recommend_straggler_factor",
+    "root_cost_estimates",
+]
+
+#: Engines the planner considers, in tie-break preference order.
+#: ``bruteforce`` and ``naive`` are reference baselines, deliberately
+#: absent: they exist to check answers, not to serve traffic.
+PLANNER_ENGINES: tuple[str, ...] = (
+    "mbet_vec", "mbet", "mbet_iter", "mbetm", "imbea", "mbea", "pmbe",
+    "oombea", "parallel",
+)
+
+#: Graphs below this many edges pick ``natural`` ordering: enumeration is
+#: microseconds either way and the degree sort would dominate.
+TINY_EDGE_COUNT = 64
+
+#: Predicted seconds of serial work above which the process-pool engine
+#: is worth its dispatch overhead (given more than one core).
+PARALLEL_WORTTHWHILE_SECONDS = 5.0
+
+#: Budget headroom: recommended time limit = ``HEADROOM ×`` prediction,
+#: clamped to ``[BUDGET_FLOOR, BUDGET_CEIL]`` seconds.  Generous on
+#: purpose — a budget exists to stop runaways, not to shave P99s.
+BUDGET_HEADROOM = 20.0
+BUDGET_FLOOR_SECONDS = 5.0
+BUDGET_CEIL_SECONDS = 600.0
+
+
+class PlanError(RuntimeError):
+    """No eligible engine exists for the requested constraints."""
+
+
+@dataclass
+class PlanCandidate:
+    """One scored ``(engine, ordering, parallelism)`` configuration."""
+
+    engine: str
+    ordering: str
+    workers: int
+    predicted_seconds: float | None
+    eligible: bool
+    demoted: bool = False
+    reasons: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "ordering": self.ordering,
+            "workers": self.workers,
+            "predicted_seconds": self.predicted_seconds,
+            "eligible": self.eligible,
+            "demoted": self.demoted,
+            "reasons": list(self.reasons),
+        }
+
+
+@dataclass
+class Plan:
+    """The planner's explainable output for one job."""
+
+    features: PlanFeatures
+    #: ranked: eligible candidates by (demoted, score), then ineligible
+    candidates: list[PlanCandidate]
+    budget_seconds: float
+    graph_key: str | None = None
+    model_version: str = MODEL_VERSION
+    n_cores: int = 1
+
+    @property
+    def chosen(self) -> PlanCandidate:
+        """The winning candidate (first eligible in rank order)."""
+        for cand in self.candidates:
+            if cand.eligible:
+                return cand
+        raise PlanError("no eligible engine for this job")
+
+    def engine_chain(self) -> list[str]:
+        """Eligible engines in execution order (the fallback chain)."""
+        return [c.engine for c in self.candidates if c.eligible]
+
+    def predicted_seconds_for(self, engine: str) -> float | None:
+        """The scored prediction for ``engine``, or None if unknown."""
+        for cand in self.candidates:
+            if cand.engine == engine:
+                return cand.predicted_seconds
+        return None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "graph_key": self.graph_key,
+            "model_version": self.model_version,
+            "n_cores": self.n_cores,
+            "features": self.features.as_dict(),
+            "chosen": self.chosen.as_dict(),
+            "budget_seconds": self.budget_seconds,
+            "candidates": [c.as_dict() for c in self.candidates],
+        }
+
+    def explain(self) -> str:
+        """Human-readable plan: the choice, the scores, and the whys."""
+        f = self.features
+        chosen = self.chosen
+        lines = [
+            (
+                f"graph{' ' + self.graph_key[:12] if self.graph_key else ''}:"
+                f" {f.n_u:,} x {f.n_v:,} vertices, {f.n_edges:,} edges, "
+                f"density {f.density:.4g}, degree skew {f.degree_skew:.1f}, "
+                f"D2 {f.max_two_hop:,}, cost {f.cost:,}, "
+                f"{f.n_components:,} component(s)"
+            ),
+            (
+                f"chosen: engine={chosen.engine} ordering={chosen.ordering} "
+                f"workers={chosen.workers} "
+                f"budget={self.budget_seconds:.1f}s "
+                f"predicted={chosen.predicted_seconds:.4f}s"
+            ),
+            "candidates:",
+        ]
+        rank = 0
+        for cand in self.candidates:
+            if cand.eligible:
+                rank += 1
+                status = "chosen" if cand is chosen else (
+                    "demoted" if cand.demoted else "ok"
+                )
+                label = f"{rank:>4}"
+                predicted = f"{cand.predicted_seconds:.4f}s"
+            else:
+                status = "ineligible"
+                label = "   -"
+                predicted = "-"
+            why = f" ({'; '.join(cand.reasons)})" if cand.reasons else ""
+            lines.append(
+                f"{label}  {cand.engine:<10} {predicted:>10}  {status}{why}"
+            )
+        return "\n".join(lines)
+
+
+def _candidate_engines(
+    engines: Iterable[str] | None,
+) -> list[str]:
+    from repro.core.base import ALGORITHMS
+
+    pool = tuple(engines) if engines is not None else PLANNER_ENGINES
+    return [e for e in pool if e in ALGORITHMS]
+
+
+def _pick_ordering(features: PlanFeatures) -> tuple[str, str]:
+    """The ordering strategy and the reason it was picked."""
+    if features.n_edges < TINY_EDGE_COUNT:
+        return "natural", (
+            f"graph has {features.n_edges} edges (< {TINY_EDGE_COUNT}); "
+            f"ordering overhead would dominate"
+        )
+    return "degree", (
+        "ascending-degree roots keep early subtrees small (the "
+        "calibration data is measured under this ordering)"
+    )
+
+
+def build_plan(
+    graph: "BipartiteGraph | None" = None,
+    *,
+    features: PlanFeatures | None = None,
+    graph_key: str | None = None,
+    store: "ArtifactStore | None" = None,
+    engines: Iterable[str] | None = None,
+    min_left: int = 1,
+    min_right: int = 1,
+    breaker_states: Mapping[str, str] | None = None,
+    model: CostModel | None = None,
+    n_cores: int | None = None,
+) -> Plan:
+    """Plan one job: extract features, score candidates, rank, explain.
+
+    ``features`` short-circuits extraction; otherwise a ``store`` (plus
+    ``graph_key``) answers repeat planning from the persisted feature
+    cache, and a bare ``graph`` is scanned directly.  ``breaker_states``
+    (engine → ``closed|half_open|open``) demotes open-breaker engines to
+    the back of the eligible ranking.  ``engines`` restricts the
+    candidate pool (default: every registry engine the planner serves).
+    """
+    import inspect
+
+    from repro.core.base import ALGORITHMS
+
+    if features is None:
+        if graph is None:
+            raise ValueError("build_plan needs a graph or its features")
+        if store is not None:
+            if graph_key is None:
+                from repro.artifacts.kinds import graph_key as _graph_key
+
+                graph_key = _graph_key(graph)
+            features = cached_features(store, graph_key, graph)
+        else:
+            features = extract_features(graph)
+    model = model if model is not None else CostModel(n_cores=n_cores)
+    ordering, ordering_reason = _pick_ordering(features)
+    needs_thresholds = min_left > 1 or min_right > 1
+    breaker_states = breaker_states or {}
+
+    eligible: list[PlanCandidate] = []
+    rejected: list[PlanCandidate] = []
+    for engine in _candidate_engines(engines):
+        reasons: list[str] = []
+        workers = 1
+        if engine == "parallel":
+            workers = model.n_cores
+        if needs_thresholds:
+            params = inspect.signature(ALGORITHMS[engine]).parameters
+            if "min_left" not in params:
+                rejected.append(PlanCandidate(
+                    engine=engine, ordering=ordering, workers=workers,
+                    predicted_seconds=None, eligible=False,
+                    reasons=[
+                        f"job sets size thresholds ({min_left}x{min_right}) "
+                        f"this engine cannot enforce"
+                    ],
+                ))
+                continue
+        predicted = model.predict_seconds(engine, features)
+        if engine == "parallel":
+            if model.n_cores <= 1:
+                rejected.append(PlanCandidate(
+                    engine=engine, ordering=ordering, workers=workers,
+                    predicted_seconds=predicted, eligible=False,
+                    reasons=["single-core host: the process pool is pure "
+                             "overhead"],
+                ))
+                continue
+            serial_best = min(
+                (
+                    c.predicted_seconds for c in eligible
+                    if c.predicted_seconds is not None
+                ),
+                default=None,
+            )
+            if (
+                serial_best is not None
+                and serial_best < PARALLEL_WORTTHWHILE_SECONDS
+            ):
+                rejected.append(PlanCandidate(
+                    engine=engine, ordering=ordering, workers=workers,
+                    predicted_seconds=predicted, eligible=False,
+                    reasons=[
+                        f"serial estimate {serial_best:.2f}s is under the "
+                        f"{PARALLEL_WORTTHWHILE_SECONDS:.0f}s bar where "
+                        f"pool dispatch pays off"
+                    ],
+                ))
+                continue
+            reasons.append(
+                f"{model.n_cores} cores available and serial estimate "
+                f"crosses the parallel bar"
+            )
+        demoted = breaker_states.get(engine) == "open"
+        if demoted:
+            reasons.append("circuit breaker open: demoted behind healthy "
+                           "engines")
+        if engine not in model.coefficients and engine != "parallel":
+            reasons.append("no calibrated coefficients: scored by the "
+                           "analytic seed")
+        eligible.append(PlanCandidate(
+            engine=engine, ordering=ordering, workers=workers,
+            predicted_seconds=predicted, eligible=True, demoted=demoted,
+            reasons=reasons,
+        ))
+
+    if not eligible:
+        raise PlanError(
+            "no eligible engine: the candidate pool is empty for these "
+            "constraints"
+        )
+    pool_order = {e: i for i, e in enumerate(_candidate_engines(engines))}
+    if features.n_edges < TINY_EDGE_COUNT:
+        # below the calibration domain the fitted coefficients are pure
+        # extrapolation (zoo graphs are orders of magnitude larger and
+        # sparser); every engine finishes in microseconds there, so rank
+        # by static pool preference instead of by noise
+        eligible.sort(key=lambda c: (c.demoted, pool_order[c.engine]))
+        eligible[0].reasons.append(
+            f"tiny graph ({features.n_edges} edges): predictions are "
+            f"extrapolation; ranked by pool preference"
+        )
+    else:
+        eligible.sort(key=lambda c: (
+            c.demoted, c.predicted_seconds, pool_order[c.engine]
+        ))
+    chosen = eligible[0]
+    chosen.reasons.insert(0, ordering_reason)
+    budget = min(
+        BUDGET_CEIL_SECONDS,
+        max(BUDGET_FLOOR_SECONDS,
+            BUDGET_HEADROOM * chosen.predicted_seconds),
+    )
+    return Plan(
+        features=features,
+        candidates=eligible + rejected,
+        budget_seconds=budget,
+        graph_key=graph_key,
+        model_version=MODEL_VERSION,
+        n_cores=model.n_cores,
+    )
+
+
+# -- cluster-facing estimates ----------------------------------------------
+
+def root_cost_estimates(
+    graph: "BipartiteGraph", order: str = "degree", seed: int = 0
+) -> list[int]:
+    """Per-root subtree cost estimates over the addressable root list.
+
+    Index ``i`` estimates the work under root ``i`` of
+    :func:`repro.core.parallel.addressable_roots` — the same unit the
+    in-process scheduler and the federated slice planner balance on.
+    """
+    from repro.core.parallel import addressable_roots, subtree_estimate
+
+    return [
+        subtree_estimate(graph, v)[0]
+        for v in addressable_roots(graph, order, seed=seed)
+    ]
+
+
+def recommend_slices(
+    n_workers: int, estimates: list[int]
+) -> int:
+    """Slice count for a federated job, from the root-cost distribution.
+
+    Baseline ``2 × workers`` (reassignment granularity without per-root
+    chatter), plus extra slices when the root-cost distribution is
+    heavy-tailed — a fat root trapped in a fat slice is exactly what
+    straggler re-splits have to fix after the fact, so skewed graphs
+    start finer.  Capped by the root count (a slice needs a root).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if not estimates:
+        return max(1, 2 * n_workers)
+    mean = sum(estimates) / len(estimates)
+    skew = (max(estimates) / mean) if mean > 0 else 1.0
+    extra = min(4 * n_workers, math.ceil(max(0.0, skew - 1.0) / 4))
+    return max(1, min(len(estimates), 2 * n_workers + extra))
+
+
+def recommend_straggler_factor(estimates: list[int]) -> float:
+    """Straggler threshold (× median slice duration) from root skew.
+
+    A slice that drew the heaviest root legitimately runs about
+    ``skew ×`` the typical slice; flagging it as a straggler would
+    re-split productive work.  The returned factor therefore grows with
+    the observed root-cost skew, clamped to ``[2, 10]``.
+    """
+    if not estimates:
+        return 4.0
+    mean = sum(estimates) / len(estimates)
+    if mean <= 0:
+        return 4.0
+    skew = max(estimates) / mean
+    return max(2.0, min(10.0, 1.5 + skew / 2.0))
+
+
+def summarize_estimates(estimates: list[int]) -> dict[str, float]:
+    """Small stats row over per-root estimates (for logs and journals)."""
+    if not estimates:
+        return {"n_roots": 0, "total": 0, "max": 0, "median": 0.0}
+    return {
+        "n_roots": len(estimates),
+        "total": sum(estimates),
+        "max": max(estimates),
+        "median": float(statistics.median(estimates)),
+    }

@@ -7,15 +7,16 @@ work *before* it queues rather than dying under it.  Two gates:
 * **Depth.**  The queue holds at most ``max_depth`` jobs.  A full queue
   is transient back-pressure: the submit is rejected with HTTP 429 and a
   ``Retry-After`` estimated from the observed mean job duration.
-* **Cost.**  A cheap pre-flight estimate from :mod:`repro.bigraph.stats`
-  — ``|E| · max(D₂(U), D₂(V))``, the edge count times the worst
-  candidate-universe a subtree can see — must stay under ``max_cost``.
-  An over-budget graph is rejected permanently (HTTP 413); retrying will
-  not help, a bigger budget or a reduced graph will.
+* **Cost.**  A cheap pre-flight estimate — ``|E| · max(D₂(U), D₂(V))``,
+  the edge count times the worst candidate-universe a subtree can see —
+  must stay under ``max_cost``.  An over-budget graph is rejected
+  permanently (HTTP 413); retrying will not help, a bigger budget or a
+  reduced graph will.
 
-Estimates for zoo datasets are cached per key (the stats scan is the
-expensive part of admission); inline and file graphs are estimated per
-submit, which is still orders cheaper than enumerating them.
+The estimator itself lives in :mod:`repro.plan.model` — it is the same
+cost model the planner scores candidates with, so admission and planning
+can never disagree about how expensive a graph looks.  ``estimate_cost``
+is re-exported here for callers of the old serve-local definition.
 """
 
 from __future__ import annotations
@@ -25,25 +26,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.bigraph.graph import BipartiteGraph
-from repro.bigraph.stats import max_two_hop_u, max_two_hop_v
+from repro.plan.model import estimate_cost
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.serve.jobs import Job
 
 __all__ = ["AdmissionError", "BoundedJobQueue", "estimate_cost"]
-
-
-def estimate_cost(graph: BipartiteGraph) -> int:
-    """Pre-flight work estimate: ``|E| * max(D₂(U), D₂(V))``.
-
-    ``D₂`` bounds the candidate-set size of any enumeration subtree, so
-    this is (up to the output term the estimate cannot know) the shape
-    of the MBET bound with the graph quantities admission *can* afford
-    to compute.
-    """
-    d2 = max(max_two_hop_u(graph), max_two_hop_v(graph))
-    return graph.n_edges * max(1, d2)
 
 
 @dataclass

@@ -38,9 +38,15 @@ from repro.core.base import ALGORITHMS, Biclique, run_mbe
 from repro.core.io_results import read_bicliques
 from repro.obs.metrics import MetricRegistry
 from repro.obs.sinks import prometheus_text
+from repro.plan import PLANNER_ENGINES, Plan, build_plan
 from repro.runtime.budget import RunBudget
 from repro.runtime.faults import FaultPlan
-from repro.serve.breaker import STATE_CODES, BreakerOpen, BreakerRegistry
+from repro.serve.breaker import (
+    FALLBACK_CHAIN,
+    STATE_CODES,
+    BreakerOpen,
+    BreakerRegistry,
+)
 from repro.serve.jobs import (
     TERMINAL_STATES,
     Job,
@@ -93,7 +99,11 @@ class ServiceConfig:
     drain_timeout: float = 10.0
     #: honour ``faults`` in job specs (chaos testing only)
     allow_faults: bool = False
-    fallback: tuple = ("mbet_vec", "mbet", "mbea")
+    #: fallback policy: None (default) ranks fallback engines with the
+    #: cost-model planner per job, composed with live breaker state; an
+    #: explicit tuple pins a fixed chain instead (``()`` disables
+    #: fallback entirely)
+    fallback: tuple | None = None
     #: Retry-After issued before any job duration has been observed
     default_retry_after: float = 5.0
     #: journal compaction triggers (None = that trigger disabled)
@@ -131,9 +141,23 @@ class EnumerationService:
         self.breakers = BreakerRegistry(
             failure_threshold=config.breaker_threshold,
             cooldown=config.breaker_cooldown,
-            chain=config.fallback,
+            chain=config.fallback if config.fallback is not None else (),
             on_transition=self._on_breaker_transition,
         )
+        # eager registration so /metrics always exposes the plan_*
+        # families (the CI plan-smoke parses them back), even before the
+        # first planned job arrives
+        for engine in PLANNER_ENGINES:
+            self.registry.counter(
+                "plan_decisions_total",
+                "jobs whose execution chain was headed by this engine",
+                labels={"engine": engine},
+            )
+            self.registry.counter(
+                "plan_mispredictions_total",
+                "jobs whose wall clock exceeded 2x the planner prediction",
+                labels={"engine": engine},
+            )
         self.journal = JobJournal(
             os.path.join(config.state_dir, "journal.jsonl"),
             compact_max_bytes=config.journal_max_bytes,
@@ -714,27 +738,66 @@ class EnumerationService:
                 self.journal.record_event(job, "failed", error=job.error)
                 self._jobs_counter("failed").inc()
 
-    def _engines_for(self, spec: JobSpec) -> list[str]:
-        """Fallback order for one job, honouring threshold support.
+    def _threshold_capable(self, spec: JobSpec, engine: str) -> bool:
+        """A job with size thresholds must not silently run on an engine
+        that ignores them — the result set would change."""
+        if spec.min_left <= 1 and spec.min_right <= 1:
+            return True
+        params = inspect.signature(ALGORITHMS[engine]).parameters
+        return "min_left" in params
 
-        A job with size thresholds must not silently fall back to an
-        engine that ignores them — the result set would change.  A job
-        with ``no_fallback`` (cluster slices: only the requested engine
-        understands ``root_range``, any substitute would enumerate the
-        whole graph) runs the requested engine or nothing.
+    def _plan_job(
+        self, spec: JobSpec, graph: BipartiteGraph, graph_key: str
+    ) -> tuple[list[str], Plan | None]:
+        """Execution chain (requested engine first) + the plan behind it.
+
+        Three policies:
+
+        * ``no_fallback`` (cluster slices: only the requested engine
+          understands ``root_range``, any substitute would enumerate the
+          whole graph) — the requested engine or nothing, no plan.
+        * explicit ``config.fallback`` — the legacy fixed chain through
+          :meth:`BreakerRegistry.resolve`, no plan.
+        * default — the cost-model planner ranks the fallback engines
+          for *this* graph, composed with live breaker state (an open
+          breaker demotes its engine behind every healthy one).  The
+          requested engine still runs first: the planner replaces the
+          guessed fallback order, not the caller's explicit choice.
         """
         if spec.no_fallback:
-            return [spec.engine] if spec.engine in ALGORITHMS else []
-        needs_thresholds = spec.min_left > 1 or spec.min_right > 1
-        out = []
-        for engine in self.breakers.resolve(spec.engine):
-            if engine not in ALGORITHMS:
-                continue
-            params = inspect.signature(ALGORITHMS[engine]).parameters
-            if needs_thresholds and "min_left" not in params:
-                continue
-            out.append(engine)
-        return out
+            return ([spec.engine] if spec.engine in ALGORITHMS else []), None
+        if self.config.fallback is not None:
+            return [
+                e for e in self.breakers.resolve(spec.engine)
+                if e in ALGORITHMS and self._threshold_capable(spec, e)
+            ], None
+        plan = None
+        try:
+            plan = build_plan(
+                graph, graph_key=graph_key, store=self.store,
+                min_left=spec.min_left, min_right=spec.min_right,
+                breaker_states=self.breakers.states(),
+            )
+            ranked = plan.engine_chain()
+        except Exception:  # noqa: BLE001 - planning must never kill a job
+            ranked = [
+                e for e in FALLBACK_CHAIN
+                if e in ALGORITHMS and self._threshold_capable(spec, e)
+            ]
+        engines = (
+            [spec.engine]
+            if spec.engine in ALGORITHMS
+            and self._threshold_capable(spec, spec.engine)
+            else []
+        )
+        engines.extend(e for e in ranked if e not in engines)
+        if engines:
+            self.registry.counter(
+                "plan_decisions_total",
+                "jobs whose execution chain was headed by this engine",
+                labels={"engine": engines[0]},
+            ).inc()
+        return engines, plan
 
     def _engine_kwargs(self, engine: str, spec: JobSpec, job_dir: str) -> dict:
         params = inspect.signature(ALGORITHMS[engine]).parameters
@@ -772,7 +835,17 @@ class EnumerationService:
             max_spool_bytes=self.config.max_spool_bytes,
         )
 
-        engines = self._engines_for(spec)
+        engines, plan = self._plan_job(spec, graph, graph_key)
+        # an unbudgeted job gets the planner's recommended budget: a
+        # generous multiple of the prediction that stops runaways without
+        # ever binding on a correctly-predicted run
+        time_limit = (
+            spec.time_limit
+            if spec.time_limit is not None
+            else self.config.default_time_limit
+        )
+        if time_limit is None and plan is not None:
+            time_limit = plan.budget_seconds
         fallbacks: list[dict[str, str]] = []
         result = None
         collector = None
@@ -786,11 +859,7 @@ class EnumerationService:
                 fallbacks.append({"engine": engine, "why": str(exc)})
                 continue
             budget = RunBudget(
-                time_limit=(
-                    spec.time_limit
-                    if spec.time_limit is not None
-                    else self.config.default_time_limit
-                ),
+                time_limit=time_limit,
                 max_bicliques=spec.max_bicliques,
                 max_nodes=spec.max_nodes,
                 cancel=cancel_event.is_set,
@@ -839,10 +908,10 @@ class EnumerationService:
             "serve_job_duration_seconds", "job wall-clock time"
         ).observe(elapsed)
         self._finish_job(job, engine_used, result, collector, fallbacks,
-                         graph_key)
+                         graph_key, plan)
 
     def _finish_job(self, job, engine_used, result, collector,
-                    fallbacks, graph_key=None) -> None:
+                    fallbacks, graph_key=None, plan=None) -> None:
         job.finished_at = time.time()
         if result is None:
             job.state = "failed"
@@ -880,6 +949,17 @@ class EnumerationService:
             "elapsed": round(result.elapsed, 6),
             "results": stored,
         }
+        if plan is not None and engine_used is not None:
+            predicted = plan.predicted_seconds_for(engine_used)
+            if predicted is not None:
+                job.summary["predicted_seconds"] = round(predicted, 6)
+                if result.elapsed > 2.0 * predicted:
+                    self.registry.counter(
+                        "plan_mispredictions_total",
+                        "jobs whose wall clock exceeded 2x the planner "
+                        "prediction",
+                        labels={"engine": engine_used},
+                    ).inc()
         if result.meta.get("stopped"):
             job.summary["stopped"] = result.meta["stopped"]
         if result.meta.get("resumed_tasks"):
@@ -903,9 +983,6 @@ class EnumerationService:
             )
             self._jobs_counter("cancelled").inc()
         else:
-            job.state = "done"
-            self.journal.record_event(job, "done", summary=job.summary)
-            self._jobs_counter("done").inc()
             if (
                 self.config.result_cache
                 and graph_key is not None
@@ -923,12 +1000,18 @@ class EnumerationService:
                         (list(b.left), list(b.right))
                         for b in collector.results
                     ]
+                # store before flipping the state: a client that saw
+                # "done" and immediately resubmits must find the cache
+                # warm, not race the write
                 kinds.put_cached_result(
                     self.store, graph_key,
                     self._result_fingerprint(job.spec),
                     engine=engine_used, count=result.count,
                     elapsed=result.elapsed, bicliques=bicliques,
                 )
+            job.state = "done"
+            self.journal.record_event(job, "done", summary=job.summary)
+            self._jobs_counter("done").inc()
 
 
 # --------------------------------------------------------------------------

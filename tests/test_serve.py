@@ -1273,3 +1273,108 @@ class TestServeResultCache:
             )
         finally:
             service.drain(timeout=2)
+
+
+# --------------------------------------------------------------------------
+# planner integration
+
+
+class TestServePlanner:
+    """serve's execution chain is the planner's ranked output."""
+
+    def test_requested_engine_heads_the_chain(self, tmp_path):
+        service = _make_service(tmp_path)
+        try:
+            job, _ = service.submit({"engine": "mbea", "edges": EDGES})
+            assert _wait_terminal(service, job.job_id) == "done"
+            payload = service.result(job.job_id)
+            assert payload["summary"]["engine"] == "mbea"
+            # the planner scored the job: the prediction rides the summary
+            assert "predicted_seconds" in payload["summary"]
+        finally:
+            service.drain(timeout=2)
+
+    def test_failed_engine_falls_back_to_planner_ranking(self, tmp_path):
+        from repro.plan import build_plan
+
+        service = _make_service(tmp_path)
+        try:
+            job, _ = service.submit(
+                {"engine": _CrashyMBE.name, "edges": EDGES}
+            )
+            assert _wait_terminal(service, job.job_id) == "done"
+            payload = service.result(job.job_id)
+            graph = BipartiteGraph([tuple(e) for e in EDGES])
+            expected = build_plan(graph).chosen.engine
+            assert payload["summary"]["engine"] == expected
+        finally:
+            service.drain(timeout=2)
+
+    def test_open_breaker_demotes_engine_in_chain(self, tmp_path):
+        from repro.plan import build_plan
+
+        service = _make_service(tmp_path, breaker_threshold=1)
+        try:
+            graph = BipartiteGraph([tuple(e) for e in EDGES])
+            top = build_plan(graph).chosen.engine
+            service.breakers.breaker(top).record_failure()
+            assert service.breakers.breaker(top).state == "open"
+            job, _ = service.submit(
+                {"engine": _CrashyMBE.name, "edges": EDGES}
+            )
+            assert _wait_terminal(service, job.job_id) == "done"
+            payload = service.result(job.job_id)
+            # the demoted engine is skipped in favour of the next healthy
+            # candidate, but stays at the tail of the chain (not banned)
+            assert payload["summary"]["engine"] != top
+            demoted_plan = build_plan(graph, breaker_states={top: "open"})
+            chain = demoted_plan.engine_chain()
+            assert top == chain[-1]
+        finally:
+            service.drain(timeout=2)
+
+    def test_explicit_fallback_config_overrides_planner(self, tmp_path):
+        service = _make_service(tmp_path, fallback=("mbea",))
+        try:
+            job, _ = service.submit(
+                {"engine": _CrashyMBE.name, "edges": EDGES}
+            )
+            assert _wait_terminal(service, job.job_id) == "done"
+            payload = service.result(job.job_id)
+            assert payload["summary"]["engine"] == "mbea"
+        finally:
+            service.drain(timeout=2)
+
+    def test_plan_metrics_exported_and_counted(self, tmp_path):
+        from repro.obs.sinks import prometheus_text
+        from repro.plan import PLANNER_ENGINES
+
+        service = _make_service(tmp_path)
+        try:
+            job, _ = service.submit({"engine": "mbet", "edges": EDGES})
+            assert _wait_terminal(service, job.job_id) == "done"
+            samples = parse_prometheus_text(
+                prometheus_text(service.registry)
+            )
+            assert samples['plan_decisions_total{engine="mbet"}'] == 1.0
+            # both families expose a sample for every planner engine,
+            # even before any job exercised it (CI parse-back contract)
+            for engine in PLANNER_ENGINES:
+                assert f'plan_decisions_total{{engine="{engine}"}}' \
+                    in samples
+                assert f'plan_mispredictions_total{{engine="{engine}"}}' \
+                    in samples
+        finally:
+            service.drain(timeout=2)
+
+    def test_planner_budget_bounds_unbudgeted_jobs(self, tmp_path):
+        """A job with no explicit time limit inherits the plan budget."""
+        service = _make_service(tmp_path)
+        try:
+            job, _ = service.submit({"engine": "mbet", "edges": EDGES})
+            assert _wait_terminal(service, job.job_id) == "done"
+            payload = service.result(job.job_id)
+            # budgeted yet complete: the budget is headroom, not a cap
+            assert payload["summary"]["complete"] is True
+        finally:
+            service.drain(timeout=2)

@@ -53,7 +53,11 @@ class TestBenchSnapshot:
             [sys.executable, str(BENCH_SCRIPT),
              "--out", str(tmp_path), "--date", "2026-01-02",
              "--datasets", "mti", "--algorithms", "mbet",
-             "--time-limit", "30"],
+             "--time-limit", "30",
+             # the full-zoo crossover matrix takes minutes; one small
+             # dataset x two engines exercises the code path cheaply
+             "--crossover-datasets", "mti",
+             "--crossover-engines", "mbet,mbea"],
             capture_output=True, text=True, timeout=120,
         )
         assert proc.returncode == 0, proc.stderr
@@ -71,3 +75,11 @@ class TestBenchSnapshot:
         # every row carries the observability snapshot
         assert record["metrics"]["counters"]["mbe_maximal_total"] == 2341
         assert "mbe_run_seconds" in record["metrics"]["histograms"]
+        # the planner's calibration block: one cell per dataset x engine,
+        # each carrying the fit_coefficients record shape
+        cells = doc["crossover"]["cells"]
+        assert {c["engine"] for c in cells} == {"mbet", "mbea"}
+        for cell in cells:
+            assert cell["dataset"] == "mti"
+            assert cell["complete"] and cell["count"] == 2341
+            assert cell["features"]["n_edges"] > 0

@@ -39,6 +39,14 @@ from repro.obs import Instrumentation  # noqa: E402
 DEFAULT_DATASETS = ("mti", "wa", "tm")
 DEFAULT_ALGORITHMS = ("mbet", "mbet_iter", "imbea")
 DEFAULT_CLUSTER_DATASET = "so"
+#: serial planner candidates — the crossover matrix is the planner's
+#: calibration ground truth, so it measures exactly the engines the
+#: planner ranks (``parallel`` is predicted relative to these)
+DEFAULT_CROSSOVER_ENGINES = (
+    "mbet_vec", "mbet", "mbet_iter", "mbetm", "imbea", "mbea", "pmbe",
+    "oombea",
+)
+CROSSOVER_ORDER = "degree"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,7 +72,63 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dataset", default="mti",
                         help="dataset for the cold-vs-warm artifact-cache "
                              "comparison (empty string skips it)")
+    parser.add_argument("--crossover-datasets",
+                        default=",".join(datasets.names()),
+                        help="zoo keys for the planner crossover matrix "
+                             "(empty string skips it; default: full zoo)")
+    parser.add_argument("--crossover-engines",
+                        default=",".join(DEFAULT_CROSSOVER_ENGINES),
+                        help="engines measured in the crossover matrix")
+    parser.add_argument("--crossover-time-limit", type=float, default=15.0,
+                        help="per-cell budget for the crossover matrix "
+                             "(default 15)")
     return parser
+
+
+def crossover_snapshot(
+    dataset_names: list[str],
+    engines: list[str],
+    time_limit: float,
+) -> dict:
+    """Measure the zoo × engines crossover matrix the planner trains on.
+
+    Every cell carries the graph's :class:`repro.plan.PlanFeatures`
+    signature next to the measured wall clock, which is exactly the
+    record shape :func:`repro.plan.fit_coefficients` consumes.  Cells
+    that hit the budget are recorded ``complete: false`` — a truncated
+    elapsed is a lower bound, so calibration skips them.
+    """
+    from repro.plan import extract_features
+
+    cells: list[dict] = []
+    for name in dataset_names:
+        graph = datasets.load(name)
+        features = extract_features(graph).as_dict()
+        for engine in engines:
+            record = run_timed(
+                graph, engine, dataset=name, time_limit=time_limit,
+                order=CROSSOVER_ORDER,
+            )
+            cells.append({
+                "dataset": name,
+                "engine": engine,
+                "elapsed": round(record.elapsed, 6),
+                "complete": record.complete,
+                "count": record.count,
+                "features": features,
+            })
+            print(
+                f"  crossover {engine:>10s} on {name}: "
+                f"{record.elapsed:.3f}s ({record.status})",
+                file=sys.stderr,
+            )
+    return {
+        "order": CROSSOVER_ORDER,
+        "time_limit": time_limit,
+        "engines": engines,
+        "datasets": dataset_names,
+        "cells": cells,
+    }
 
 
 def cache_snapshot(dataset: str) -> dict:
@@ -246,6 +310,12 @@ def main(argv: list[str] | None = None) -> int:
             args.cluster_dataset, args.cluster_workers, args.time_limit)
     if args.cache_dataset:
         doc["cache"] = cache_snapshot(args.cache_dataset)
+    if args.crossover_datasets:
+        doc["crossover"] = crossover_snapshot(
+            [d for d in args.crossover_datasets.split(",") if d],
+            [e for e in args.crossover_engines.split(",") if e],
+            args.crossover_time_limit,
+        )
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     target = out_dir / f"BENCH_{date}.json"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Smoke-test the engine planner against the dataset zoo.
+
+For each zoo dataset (default: a fast trio), the smoke:
+
+1. runs ``repro plan --dataset <key> --json`` as a subprocess and checks
+   the plan parses, names a registered engine, and carries a positive
+   budget and prediction;
+2. runs ``repro plan --dataset <key> --explain`` and checks the candidate
+   table renders (a ``chosen`` row, at least one ``ineligible`` row);
+3. executes the chosen engine in-process and verifies the biclique count
+   matches an ``mbet`` reference run — the planner must never trade
+   correctness for speed;
+4. boots the serve layer once and asserts ``/metrics`` exposes the
+   ``plan_decisions_total`` / ``plan_mispredictions_total`` families for
+   every planner engine (the CI parse-back contract).
+
+Exits non-zero on the first discrepancy.  Usage::
+
+    PYTHONPATH=src python tools/plan_smoke.py [--datasets mti,wa,tm]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro import run_mbe
+from repro.core.base import ALGORITHMS
+from repro.datasets import load
+from repro.obs.sinks import parse_prometheus_text, prometheus_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+
+
+def check_dataset(name: str) -> None:
+    proc = cli("plan", "--dataset", name, "--json", "--cores", "1")
+    if proc.returncode != 0:
+        fail(f"plan --json on {name} exited {proc.returncode}: "
+             f"{proc.stderr.strip()}")
+    plan = json.loads(proc.stdout)
+    engine = plan["chosen"]["engine"]
+    if engine not in ALGORITHMS:
+        fail(f"{name}: planner chose unregistered engine {engine!r}")
+    if plan["budget_seconds"] <= 0:
+        fail(f"{name}: non-positive budget {plan['budget_seconds']}")
+    if plan["chosen"]["predicted_seconds"] <= 0:
+        fail(f"{name}: non-positive prediction")
+
+    proc = cli("plan", "--dataset", name, "--explain", "--cores", "1")
+    if proc.returncode != 0:
+        fail(f"plan --explain on {name} exited {proc.returncode}")
+    out = proc.stdout
+    if "candidates:" not in out or "chosen" not in out:
+        fail(f"{name}: --explain did not render the candidate table")
+    if "ineligible" not in out:
+        fail(f"{name}: --explain shows no ineligible candidate "
+             f"(parallel should be rejected with --cores 1)")
+
+    graph = load(name)
+    got = run_mbe(graph, engine, collect=False)
+    want = run_mbe(graph, "mbet", collect=False)
+    if not got.complete or got.count != want.count:
+        fail(f"{name}: chosen engine {engine} found {got.count} "
+             f"bicliques, mbet found {want.count}")
+    print(f"  {name}: engine={engine} "
+          f"predicted={plan['chosen']['predicted_seconds']:.3f}s "
+          f"actual={got.elapsed:.3f}s count={got.count} OK")
+
+
+def check_metrics_families(tmp_dir: str) -> None:
+    from repro.plan import PLANNER_ENGINES
+    from repro.serve.server import EnumerationService, ServiceConfig
+
+    service = EnumerationService(
+        ServiceConfig(state_dir=os.path.join(tmp_dir, "state"), workers=1)
+    )
+    try:
+        samples = parse_prometheus_text(prometheus_text(service.registry))
+    finally:
+        service.drain(timeout=1)
+    for engine in PLANNER_ENGINES:
+        for family in ("plan_decisions_total", "plan_mispredictions_total"):
+            key = f'{family}{{engine="{engine}"}}'
+            if key not in samples:
+                fail(f"/metrics lacks {key}")
+    print(f"  metrics: both plan_* families cover all "
+          f"{len(PLANNER_ENGINES)} planner engines OK")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--datasets", default="mti,wa,tm",
+                        help="comma-separated zoo keys")
+    args = parser.parse_args()
+    names = [n for n in args.datasets.split(",") if n]
+    print(f"plan smoke: {len(names)} dataset(s)")
+    for name in names:
+        check_dataset(name)
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        check_metrics_families(tmp)
+    print("plan smoke: OK")
+
+
+if __name__ == "__main__":
+    main()
