@@ -333,9 +333,14 @@ def exp_f6_ablation(quick: bool = False) -> ExperimentResult:
                "the 1/100 downscaling shrank traversed sets below the "
                "trie/linear-scan crossover; R-E4 isolates that crossover "
                "and shows the full-scale datasets sit beyond it.",
-               "'vectorized' swaps the int-bitmask inner loop for numpy "
-               "row kernels — a second documented negative result at this "
-               "scale (narrow nodes make per-node numpy dispatch dominate)."],
+               "'vectorized' swaps the int-bitmask inner loop for the "
+               "batched uint64 kernels in repro.setops.kernels.  The "
+               "per-group numpy formulation this column used to measure "
+               "was a documented negative result (per-node dispatch "
+               "dominated on narrow nodes); the batched hybrid flips it — "
+               "wide subtrees run on packed row batches and narrow ones "
+               "drop down to the int path, so the column now tracks mbet "
+               "(see docs/performance.md for the crossover study)."],
     )
 
 

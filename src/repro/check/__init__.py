@@ -11,8 +11,10 @@ by differential comparison against independent baselines:
   plus constructor options, or an explicit factory).
 * :mod:`repro.check.oracles` — the oracle battery: definitional
   verification (:mod:`repro.core.verify`), cross-engine set equality,
-  vertex-relabeling equivariance, U/V-swap symmetry, threshold
-  monotonicity, budget-prefix soundness, and kill/resume parity.
+  a setops differential oracle (packed kernels vs the sorted-list and
+  Python-int references), vertex-relabeling equivariance, U/V-swap
+  symmetry, threshold monotonicity, budget-prefix soundness, and
+  kill/resume parity.
 * :mod:`repro.check.shrink` — greedy vertex/edge deletion that minimizes
   any failing graph while preserving the failure.
 * :mod:`repro.check.harness` — the fuzz loop tying it together, exposed
@@ -32,6 +34,7 @@ from repro.check.oracles import (
     budget_prefix_oracle,
     kill_resume_oracle,
     relabel_oracle,
+    setops_oracle,
     swap_oracle,
     threshold_oracle,
 )
@@ -53,6 +56,7 @@ __all__ = [
     "relabel_oracle",
     "run_fuzz",
     "sample_case",
+    "setops_oracle",
     "shrink_graph",
     "swap_oracle",
     "threshold_oracle",

@@ -36,12 +36,27 @@ ENGINE_VARIANTS: dict[str, tuple[dict[str, Any], ...]] = {
         {"trie_max_nodes": 4}, {"orient_smaller_v": True},
     ),
     "mbet_iter": ({}, {"orient_smaller_v": True}, {"trie_max_nodes": 4}),
-    "mbet_vec": ({}, {"use_merge": False}, {"trie_max_nodes": 4}),
+    "mbet_vec": (
+        {}, {"use_merge": False}, {"trie_max_nodes": 4},
+        # force every subtree through the packed-kernel path, and exercise
+        # the mid-recursion int-path drop-down at a tiny threshold
+        {"kernel_policy": "always"},
+        {"kernel_policy": "always", "use_sort": False},
+        {"kernel_min_groups": 2},
+        {"kernel_min_groups": 3},
+        {"kernel_policy": "never"},
+    ),
     "mbetm": ({}, {"max_nodes": 8}),
     "parallel": (
         {"workers": 1, "bound_height": 1, "bound_size": 1},
         {"workers": 1, "bound_height": 1, "bound_size": 8},
         {"workers": 1},
+        {"workers": 1, "engine": "mbet_vec"},
+        # engine_options as a pair-tuple keeps the spec hashable
+        {
+            "workers": 1, "engine": "mbet_vec",
+            "engine_options": (("kernel_policy", "always"),),
+        },
     ),
     "oombea": ({}, {"order": "random"}),
 }

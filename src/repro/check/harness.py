@@ -34,6 +34,7 @@ from repro.check.oracles import (
     kill_resume_oracle,
     plan_oracle,
     relabel_oracle,
+    setops_oracle,
     swap_oracle,
     threshold_oracle,
 )
@@ -42,7 +43,7 @@ from repro.check.shrink import shrink_graph
 
 #: Oracle names the harness knows how to schedule.
 ALL_ORACLES: tuple[str, ...] = (
-    "agreement", "relabel", "swap", "threshold", "budget_prefix",
+    "agreement", "setops", "relabel", "swap", "threshold", "budget_prefix",
     "kill_resume", "plan",
 )
 
@@ -126,6 +127,12 @@ def _case_oracles(
     wanted = set(config.oracles)
     if "agreement" in wanted:
         battery.append(("agreement", agreement_oracle(engines)))
+    if "setops" in wanted:
+        # cheap (no enumeration), so it runs on every case — random and
+        # dataset alike; seeded per case for reproducible rows
+        battery.append(
+            ("setops", setops_oracle(seed=rng.randrange(2**16)))
+        )
     if dataset:
         # metamorphic oracles re-run engines several times over; on zoo
         # graphs agreement (all engines, definitional audit) is the value

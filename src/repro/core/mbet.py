@@ -262,7 +262,11 @@ class MBET(MBEAlgorithm):
         elif groups:
             stats.threshold_pruned += 1
 
-        # fold the store's instrumentation into the run stats
+        self._fold_store_stats(store, stats)
+
+    @staticmethod
+    def _fold_store_stats(store, stats: EnumerationStats) -> None:
+        """Fold one subproblem store's instrumentation into the run stats."""
         if isinstance(store, _TrieQ):
             trie = store.trie
             stats.checks += trie.queries

@@ -103,24 +103,29 @@ ANALYTIC_SEED: tuple[float, ...] = (
 )
 
 #: Calibrated per-engine coefficients, fit by :func:`fit_coefficients`
-#: from the crossover matrix in the committed ``BENCH_2026-08-08.json``
-#: snapshot (13 zoo graphs × 8 engines at a 15s budget; see
-#: ``docs/planning.md`` for the recalibration workflow).
+#: from the crossover matrix in the committed ``BENCH_2026-08-08a.json``
+#: snapshot (13 zoo graphs × 8 engines at a 15s budget, with ``mbet_vec``
+#: on the batched kernel layer; see ``docs/planning.md`` for the
+#: recalibration workflow).
 DEFAULT_COEFFICIENTS: dict[str, tuple[float, ...]] = {
-    "imbea": (-11.830988, 0.680171, 0.761078, 0.934149, 35.681674, -1.266629),
-    "mbea": (-12.000842, 0.518806, 0.797526, 0.760414, 34.305317, -1.03866),
-    "mbet": (-12.424802, 0.582534, 0.741315, 0.525884, 42.449332, -1.087899),
+    "imbea": (-13.80619, 0.93536, 0.810028, 1.001548, 29.246492, -1.433221),
+    "mbea": (-11.188191, 0.632014, 0.71818, 0.561571, 32.824558, -1.033809),
+    "mbet": (-12.571888, 0.725369, 0.744103, 0.442181, 38.936554, -1.195343),
     "mbet_iter": (
-        -12.137125, 0.55964, 0.731921, 0.538679, 41.952206, -1.07848
+        -11.010318, 0.605405, 0.717159, 0.335269, 39.086724, -1.140103
     ),
     "mbet_vec": (
-        -10.472026, 0.416794, 0.726122, 0.413124, 32.813257, -0.920734
+        -12.481754, 0.709531, 0.756353, 0.402641, 39.163125, -1.186208
     ),
-    "mbetm": (-11.2867, 0.484934, 0.717656, 0.478729, 41.471111, -1.03886),
+    "mbetm": (
+        -11.534497, 0.67563, 0.705697, 0.452464, 40.998957, -1.197739
+    ),
     "oombea": (
-        -14.109877, 0.58132, 0.85112, 0.965609, 51.356453, -1.147874
+        -13.045556, 0.471648, 0.872443, 0.868397, 50.000447, -1.148559
     ),
-    "pmbe": (-16.046496, 0.950589, 0.880109, 1.01074, 29.775004, -1.369649),
+    "pmbe": (
+        -14.025894, 0.730818, 0.887183, 0.831172, 36.310934, -1.299066
+    ),
 }
 
 

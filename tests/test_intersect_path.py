@@ -81,3 +81,44 @@ class TestPartitionedUnion:
             out = partitioned_union(a, b, lanes)
             assert out == sorted(out)
             assert out == sorted(set(a) | set(b))
+
+
+class TestLaneOvercommit:
+    """Boundary sweep: more lanes than merge-grid diagonals.
+
+    When ``lanes > len(a) + len(b)`` some split points must coincide; the
+    contract is that a duplicated split point denotes an *empty* lane —
+    the output must contain no duplicated elements.
+    """
+
+    def test_duplicate_split_points_exist_and_are_benign(self):
+        a, b = [1, 3], [2]
+        lanes = 9  # > len(a) + len(b) = 3
+        pts = merge_path_partitions(a, b, lanes)
+        assert len(pts) == lanes + 1
+        assert pts[0] == (0, 0) and pts[-1] == (len(a), len(b))
+        # with 3 diagonals and 9 lanes, pigeonhole forces duplicates
+        assert len(set(pts)) < len(pts)
+        # every duplicated adjacent pair is an empty lane contributing
+        # nothing; the union must come out exact, not repeated
+        assert partitioned_union(a, b, lanes) == [1, 2, 3]
+
+    def test_every_adjacent_pair_is_monotone(self):
+        pts = merge_path_partitions([5], [5], 12)
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            assert x0 <= x1 and y0 <= y1
+
+    @given(
+        sorted_unique_ints(max_size=6, max_value=30),
+        sorted_unique_ints(max_size=6, max_value=30),
+        st.integers(1, 64),
+    )
+    def test_union_exact_under_any_overcommit(self, a, b, lanes):
+        out = partitioned_union(a, b, lanes)
+        assert out == sorted(set(a) | set(b))
+        assert len(out) == len(set(out))  # no duplicated output
+
+    @given(st.integers(1, 50))
+    def test_both_empty_any_lane_count(self, lanes):
+        assert merge_path_partitions([], [], lanes) == [(0, 0)] * (lanes + 1)
+        assert partitioned_union([], [], lanes) == []

@@ -88,3 +88,68 @@ class TestVectorizedEngine:
         result = run_mbe(g, "mbet_vec", order="natural")
         assert result.stats.merged_candidates >= 1
         assert result.count == 2
+
+
+class TestKernelPolicy:
+    @pytest.mark.parametrize("policy,min_groups", [
+        ("always", 2), ("never", 2), ("auto", 2), ("auto", 4), ("auto", 10**6),
+    ])
+    def test_every_policy_agrees_with_int_engine(self, policy, min_groups):
+        rng = random.Random(104)
+        for _ in range(25):
+            g = random_bigraph(rng)
+            assert (
+                run_mbe(
+                    g, "mbet_vec",
+                    kernel_policy=policy, kernel_min_groups=min_groups,
+                ).biclique_set()
+                == run_mbe(g, "mbet").biclique_set()
+            )
+
+    def test_always_agrees_across_word_boundary(self):
+        from repro import powerlaw_bipartite
+
+        g = powerlaw_bipartite(300, 60, 2000, 1.7, seed=8)
+        want = run_mbe(g, "mbet", collect=False).count
+        for policy, kmg in (("always", 2), ("auto", 4)):
+            r = run_mbe(
+                g, "mbet_vec", collect=False,
+                kernel_policy=policy, kernel_min_groups=kmg,
+            )
+            assert r.count == want
+            assert r.stats.kernel_nodes > 0
+            assert r.stats.kernel_batches > 0
+
+    def test_never_runs_zero_kernel_nodes(self, g0):
+        r = run_mbe(g0, "mbet_vec", kernel_policy="never")
+        assert r.stats.kernel_nodes == 0
+        assert r.stats.kernel_batches == 0
+        assert r.biclique_set() == G0_MAXIMAL
+
+    def test_kernel_counters_consistent(self):
+        rng = random.Random(105)
+        g = random_bigraph(rng, max_side=30, p=0.4)
+        r = run_mbe(
+            g, "mbet_vec", kernel_policy="always", collect=False
+        )
+        assert r.stats.kernel_nodes == r.stats.nodes
+        assert r.stats.kernel_rows == r.stats.intersections
+
+    def test_constrained_agreement_under_always(self):
+        rng = random.Random(106)
+        for _ in range(15):
+            g = random_bigraph(rng)
+            want = run_mbe(g, "mbet", min_left=2, min_right=2).biclique_set()
+            got = run_mbe(
+                g, "mbet_vec", kernel_policy="always",
+                min_left=2, min_right=2,
+            ).biclique_set()
+            assert got == want
+
+    def test_policy_validation(self):
+        from repro.core.mbet_vec import MBETVectorized
+
+        with pytest.raises(ValueError):
+            MBETVectorized(kernel_policy="sometimes")
+        with pytest.raises(ValueError):
+            MBETVectorized(kernel_min_groups=1)

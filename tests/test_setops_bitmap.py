@@ -156,3 +156,68 @@ class TestSignatureSpace:
             st.lists(st.sampled_from(universe), unique=True)
         )
         assert space.decode(space.encode(subset)) == sorted(subset)
+
+
+class TestWordBoundaryUniverses:
+    """Round-trips at 63/64/65-bit universes (uint64 word boundaries).
+
+    The kernel layer packs signatures into 64-bit words; an off-by-one at
+    the word boundary would corrupt exactly these widths.  The Python-int
+    path has no words at all, so agreement between the two pins both.
+    """
+
+    @pytest.mark.parametrize("n_bits", [63, 64, 65, 127, 128, 129])
+    def test_encode_decode_roundtrip(self, n_bits):
+        universe = [3 * i + 1 for i in range(n_bits)]  # non-contiguous ids
+        space = SignatureSpace(universe)
+        assert space.full_mask == (1 << n_bits) - 1
+        boundary_subsets = [
+            [],
+            universe,
+            [universe[0]],
+            [universe[-1]],
+            universe[::2],
+            universe[-2:],
+        ]
+        for subset in boundary_subsets:
+            mask = space.encode(subset)
+            assert space.decode(mask) == sorted(subset)
+        # the top bit alone must survive the word edge
+        top = space.encode([universe[-1]])
+        assert top == 1 << (n_bits - 1)
+        assert space.decode(top) == [universe[-1]]
+
+    @pytest.mark.parametrize("n_bits", [63, 64, 65])
+    def test_packed_rows_agree_with_int_masks(self, n_bits):
+        universe = list(range(n_bits))
+        space = SignatureSpace(universe)
+        subsets = [universe[k:] for k in range(0, n_bits, 7)] + [[], universe]
+        matrix = space.encode_rows(subsets)
+        for row, subset in zip(matrix, subsets):
+            assert space.decode_row(row) == sorted(subset)
+            assert space.encode(subset) == int.from_bytes(
+                row.tobytes(), "little"
+            )
+
+
+class TestBitmapWordBoundaryAlgebra:
+    @given(
+        st.lists(st.sampled_from([0, 1, 62, 63, 64, 65, 126, 127, 128, 129]),
+                 unique=True),
+        st.lists(st.sampled_from([0, 1, 62, 63, 64, 65, 126, 127, 128, 129]),
+                 unique=True),
+    )
+    def test_matches_frozenset_at_word_edges(self, xs, ys):
+        bx, by = Bitmap(xs), Bitmap(ys)
+        sx, sy = frozenset(xs), frozenset(ys)
+        assert set(bx & by) == sx & sy
+        assert set(bx | by) == sx | sy
+        assert set(bx - by) == sx - sy
+        assert set(bx ^ by) == sx ^ sy
+        assert (bx <= by) == (sx <= sy)
+        assert (bx < by) == (sx < sy)
+        assert bx.issubset(by) == sx.issubset(sy)
+        assert bx.isdisjoint(by) == sx.isdisjoint(sy)
+        assert (bx == by) == (sx == sy)
+        assert len(bx) == len(sx)
+        assert bx.to_list() == sorted(sx)

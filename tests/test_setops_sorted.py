@@ -164,3 +164,53 @@ class TestMultiIntersect:
     @given(sorted_unique_ints(), sorted_unique_ints(), sorted_unique_ints())
     def test_matches_set_semantics(self, a, b, c):
         assert multi_intersect([a, b, c]) == sorted(set(a) & set(b) & set(c))
+
+
+class TestBoundarySweep:
+    """Empty/singleton boundary cases for every operation, vs set().
+
+    A systematic sweep over the degenerate shapes the property tests only
+    sample: both inputs drawn from {[], [x], [x, y]} with equal, adjacent,
+    and distant values.
+    """
+
+    CASES = [
+        ([], []),
+        ([], [5]),
+        ([5], []),
+        ([5], [5]),
+        ([5], [6]),
+        ([5], [4]),
+        ([0], [0, 1]),
+        ([0, 1], [1]),
+        ([0, 1], [2, 3]),
+        ([2, 3], [0, 1]),
+        ([7], [7, 8, 9]),
+        ([7, 8, 9], [8]),
+    ]
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_binary_ops_match_set_semantics(self, a, b):
+        sa, sb = set(a), set(b)
+        assert intersect(a, b) == sorted(sa & sb)
+        assert intersect_size(a, b) == len(sa & sb)
+        assert galloping_intersect(a, b) == sorted(sa & sb)
+        assert union(a, b) == sorted(sa | sb)
+        assert set_difference(a, b) == sorted(sa - sb)
+        assert is_subset(a, b) == (sa <= sb)
+        assert is_strict_subset(a, b) == (sa < sb)
+
+    @pytest.mark.parametrize("a,b", CASES)
+    def test_nary_ops_match_set_semantics(self, a, b):
+        sa, sb = set(a), set(b)
+        assert union_many([a, b]) == sorted(sa | sb)
+        assert multi_intersect([a, b]) == sorted(sa & sb)
+        assert union_many([a]) == a
+        assert multi_intersect([a]) == a
+
+    def test_union_many_empty_collection(self):
+        assert union_many([]) == []
+
+    def test_multi_intersect_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            multi_intersect([])

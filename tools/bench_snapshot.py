@@ -14,6 +14,10 @@ single JSON document::
 Snapshots are meant to be committed occasionally so performance drift is
 visible in history; the metrics block makes regressions attributable
 (e.g. "same count, 3x more intersections") rather than just observable.
+The document and every per-run record also carry
+:func:`repro.setops.kernel_meta` — the popcount backend and numba state
+behind the packed-kernel engines — so a timing shift caused by a numpy
+upgrade swapping the backend is visible in the snapshot diff.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro import datasets, run_mbe  # noqa: E402
 from repro.bench.runner import run_timed  # noqa: E402
 from repro.obs import Instrumentation  # noqa: E402
+from repro.setops import kernel_meta  # noqa: E402
 
 DEFAULT_DATASETS = ("mti", "wa", "tm")
 DEFAULT_ALGORITHMS = ("mbet", "mbet_iter", "imbea")
@@ -281,7 +286,11 @@ def snapshot(
                 graph, algorithm, dataset=name,
                 time_limit=time_limit, instrumentation=instr,
             )
-            records.append(record.as_dict())
+            row = record.as_dict()
+            # each row stands alone when diffed across snapshot files, so
+            # it carries the kernel backend that produced its timing
+            row["kernels"] = kernel_meta()
+            records.append(row)
             print(
                 f"  {algorithm:>10s} on {name}: {record.count:,} bicliques "
                 f"in {record.elapsed:.3f}s ({record.status})",
@@ -300,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
         "date": date,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "kernels": kernel_meta(),
         "datasets": dataset_names,
         "algorithms": algorithms,
         "time_limit": args.time_limit,
