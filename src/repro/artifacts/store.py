@@ -39,12 +39,15 @@ from __future__ import annotations
 import json
 import hashlib
 import os
+import sys
 import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
+
+from repro.chaos import fs as chaos_fs
 
 try:  # POSIX; the only platform this repo targets, but degrade politely
     import fcntl
@@ -348,6 +351,12 @@ class ArtifactStore:
 
         Temp-file + fsync + ``os.replace`` under the cross-process file
         lock; a budget check runs after the write.
+
+        A write that fails with ``OSError`` (disk full, I/O error)
+        **degrades instead of raising**: the half-written temp file is
+        removed, ``artifacts_write_errors_total`` counts the loss, and
+        the caller proceeds uncached — a cache that cannot write is a
+        cache that misses, never a failed job.
         """
         path = self.entry_path(graph_key, kind, fingerprint)
         blob = _canonical(payload)
@@ -361,22 +370,30 @@ class ArtifactStore:
             "payload": payload,
         }
         data = json.dumps(doc, sort_keys=True).encode("utf-8")
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with self.lock:
             try:
-                with open(tmp, "wb") as handle:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with chaos_fs.open(tmp, "wb") as handle:
                     handle.write(data)
                     handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp, path)
+                    chaos_fs.fsync(handle.fileno(), tmp)
+                chaos_fs.replace(tmp, path)
+            except OSError as exc:
+                self._count("write_errors", kind)
+                print(
+                    f"artifacts: cache write failed for "
+                    f"{kind}/{fingerprint} ({exc}); continuing uncached",
+                    file=sys.stderr, flush=True,
+                )
+                return path
             finally:
                 if os.path.exists(tmp):  # a failed write never half-lands
                     try:
                         os.remove(tmp)
                     except OSError:  # pragma: no cover
                         pass
-            self._memo_drop(path)
+                self._memo_drop(path)
             self._count("writes", kind)
             if self.max_bytes is not None:
                 self._enforce_budget(self.max_bytes)

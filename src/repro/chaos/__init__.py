@@ -1,0 +1,32 @@
+"""Unified chaos engine: seeded fault schedules across disk/net/process.
+
+The package splits along an import-layering line:
+
+* :mod:`repro.chaos.schedule`, :mod:`repro.chaos.fs`,
+  :mod:`repro.chaos.net` are *leaves* — production modules
+  (``serve``, ``cluster``, ``artifacts``, ``runtime``) import them to
+  expose fault seams, so they must not import back into those layers;
+* :mod:`repro.chaos.invariants`, :mod:`repro.chaos.scenarios`, and
+  :mod:`repro.chaos.runner` sit *on top* of serve/cluster/artifacts and
+  are imported lazily (by the CLI and the smoke tool) to keep
+  ``import repro.chaos`` cheap and cycle-free.
+
+See :doc:`docs/chaos` for the scenario catalogue and the invariants
+each scenario checks.
+"""
+
+from repro.chaos.schedule import (
+    DISK_FAULTS,
+    NET_FAULTS,
+    SEAMS,
+    FaultRule,
+    FaultSchedule,
+)
+
+__all__ = [
+    "DISK_FAULTS",
+    "NET_FAULTS",
+    "SEAMS",
+    "FaultRule",
+    "FaultSchedule",
+]

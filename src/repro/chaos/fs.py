@@ -1,0 +1,202 @@
+"""The pluggable filesystem shim: disk faults on demand, free when idle.
+
+Durability-critical writers (the checkpoint writer, the serve and
+cluster journals, result spools, the artifact store) route their writes
+through this module instead of calling ``open``/``os.replace``/
+``os.fsync`` directly.  With no schedule installed every call is a
+one-attribute-read passthrough; with one installed
+(:func:`install` / :func:`active`), each write-side operation consults
+the schedule and may suffer:
+
+* ``torn_write``  — a prefix of the data reaches the file, then the
+  write raises ``EIO`` (the on-disk state a power cut leaves behind,
+  *plus* the error a careful caller gets to react to);
+* ``enospc``      — the write raises ``ENOSPC`` before any byte lands;
+* ``bitflip``     — one character of the payload is silently corrupted
+  before writing (read-side checksums must catch it);
+* ``lost_fsync``  — ``fsync`` silently does nothing (data loss only
+  becomes visible if the process dies before the page cache drains);
+* ``replace_error`` / ``enospc`` on :func:`replace` — the atomic rename
+  fails, leaving the temp file and the original both intact.
+
+Faults are injected at the *write* boundary on purpose: read paths stay
+untouched, so every defence under test (torn-tail tolerance, checksums,
+quarantine) sees exactly the artifact a real failure would leave.
+"""
+
+from __future__ import annotations
+
+import builtins
+import errno
+import hashlib
+import os
+import threading
+from contextlib import contextmanager
+from typing import IO, TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # duck-typed at runtime: keeps this module a leaf
+    # (runtime/checkpoint imports this shim, and the schedule module
+    # imports runtime.faults — a literal import here would be a cycle)
+    from repro.chaos.schedule import FaultSchedule
+
+__all__ = ["active", "current", "install", "is_active", "uninstall",
+           "open", "replace", "fsync"]
+
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+_lock = threading.Lock()
+_schedule: FaultSchedule | None = None
+
+
+def install(schedule: FaultSchedule) -> None:
+    """Activate disk fault injection process-wide."""
+    global _schedule
+    with _lock:
+        _schedule = schedule
+
+
+def uninstall() -> None:
+    global _schedule
+    with _lock:
+        _schedule = None
+
+
+def current() -> FaultSchedule | None:
+    return _schedule
+
+
+def is_active() -> bool:
+    return _schedule is not None
+
+
+@contextmanager
+def active(schedule: FaultSchedule) -> Iterator[FaultSchedule]:
+    """Install ``schedule`` for the duration of the block."""
+    install(schedule)
+    try:
+        yield schedule
+    finally:
+        uninstall()
+
+
+def open(path: Any, mode: str = "r", **kwargs: Any) -> IO:
+    """``builtins.open`` with fault injection on write-mode handles.
+
+    Write-mode handles are *always* wrapped (the wrapper is a no-op
+    passthrough while no schedule is installed), so long-lived handles
+    — a journal opened at service start, a spool held across slices —
+    feel faults from a schedule installed after they were opened.
+    """
+    handle = builtins.open(path, mode, **kwargs)
+    if not (_WRITE_MODE_CHARS & set(mode)):
+        return handle
+    return _ChaosFile(handle, os.fspath(path))
+
+
+def replace(src: Any, dst: Any) -> None:
+    """``os.replace`` that can fail like a full or flaky disk."""
+    schedule = _schedule
+    if schedule is not None:
+        rule = schedule.decide("disk", "replace", os.fspath(dst))
+        if rule is not None and rule.fault in (
+            "enospc", "replace_error", "torn_write",
+        ):
+            code = errno.ENOSPC if rule.fault == "enospc" else errno.EIO
+            raise OSError(
+                code, f"chaos: injected {rule.fault} replacing {dst}"
+            )
+    os.replace(src, dst)
+
+
+def fsync(fileno: int, path: str = "") -> None:
+    """``os.fsync`` that can silently lose the flush."""
+    schedule = _schedule
+    if schedule is not None:
+        rule = schedule.decide("disk", "fsync", path)
+        if rule is not None and rule.fault == "lost_fsync":
+            return
+    os.fsync(fileno)
+
+
+def _corrupt(data, seed: int, path: str):
+    """Flip one character/byte of ``data``, deterministically.
+
+    Newlines are never the victim — changing record framing would turn a
+    silent corruption into a (much easier to catch) torn line.
+    """
+    if not data:
+        return data
+    digest = hashlib.blake2b(
+        f"{seed}:bitflip:{path}:{len(data)}".encode(), digest_size=8
+    ).digest()
+    pick = int.from_bytes(digest, "big") % len(data)
+    newline = "\n" if isinstance(data, str) else 0x0A
+    for offset in range(len(data)):
+        i = (pick + offset) % len(data)
+        if data[i] != newline:
+            pick = i
+            break
+    else:
+        return data
+    if isinstance(data, str):
+        flipped = chr((ord(data[pick]) ^ 0x01) & 0x7F) or "?"
+        if flipped == "\n":
+            flipped = "?"
+        return data[:pick] + flipped + data[pick + 1:]
+    blob = bytearray(data)
+    blob[pick] ^= 0x01
+    return bytes(blob)
+
+
+class _ChaosFile:
+    """Write-intercepting wrapper over one file handle.
+
+    Consults the *currently installed* schedule on every write, not the
+    one captured at open time, so :func:`active` cleanly bounds the
+    chaos even for handles that outlive the block (journals, spools).
+    """
+
+    def __init__(self, handle: IO, path: str):
+        self._handle = handle
+        self._path = path
+
+    def write(self, data):
+        schedule = _schedule
+        if schedule is None:
+            return self._handle.write(data)
+        rule = schedule.decide("disk", "write", self._path)
+        if rule is None:
+            return self._handle.write(data)
+        if rule.fault == "enospc":
+            raise OSError(
+                errno.ENOSPC,
+                f"chaos: injected ENOSPC writing {self._path}",
+            )
+        if rule.fault == "torn_write":
+            self._handle.write(data[: max(1, len(data) // 2)])
+            self._handle.flush()
+            raise OSError(
+                errno.EIO,
+                f"chaos: injected torn write to {self._path}",
+            )
+        if rule.fault == "bitflip":
+            return self._handle.write(
+                _corrupt(data, schedule.seed, self._path)
+            )
+        # lost_fsync / replace_error rules matched onto a write op:
+        # nothing sensible to do here, let the write through untouched
+        return self._handle.write(data)
+
+    # context-manager / iterator protocols resolve on the type, so they
+    # cannot ride on __getattr__ delegation
+    def __enter__(self) -> "_ChaosFile":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._handle.close()
+
+    def __iter__(self):
+        return iter(self._handle)
+
+    def __getattr__(self, name: str):
+        return getattr(self._handle, name)

@@ -1,0 +1,123 @@
+"""The network fault hook for the cluster's worker HTTP client.
+
+:meth:`repro.cluster.client.WorkerClient.request` routes its actual
+socket send through :func:`apply` when a schedule is installed here.
+The hook sits *above* the transport and *below* the client's error
+handling, so injected faults exercise exactly the code paths real
+network failures would:
+
+* ``reset``     — raises :class:`ChaosConnectionReset`
+  (a ``ConnectionResetError``): the request never reaches the worker;
+* ``timeout``   — the request IS sent (server-side effects land) but
+  the response is discarded and :class:`ChaosTimeout` (a
+  ``TimeoutError``) raised — the classic ambiguous failure where the
+  caller cannot know whether the operation happened;
+* ``http_500``  — the request is swallowed and a synthetic
+  ``(500, {...})`` returned, as if the worker's handler blew up;
+* ``slow``      — the response is delayed by ``rule.seconds``
+  (slow-loris worker; trips straggler/heartbeat logic);
+* ``duplicate`` — the request is sent twice and the second response
+  returned (at-least-once delivery; exactly-once merge must dedupe).
+
+Both exception types subclass what
+:class:`~repro.cluster.client.WorkerClient` already catches, so faults
+surface to the coordinator as ordinary ``WorkerUnreachable`` errors.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+if TYPE_CHECKING:  # duck-typed at runtime: keeps this module a leaf
+    from repro.chaos.schedule import FaultSchedule
+
+__all__ = [
+    "ChaosConnectionReset", "ChaosTimeout",
+    "active", "apply", "current", "install", "is_active", "uninstall",
+]
+
+
+class ChaosConnectionReset(ConnectionResetError):
+    """Injected connection reset (request never delivered)."""
+
+
+class ChaosTimeout(TimeoutError):
+    """Injected timeout (request delivered, response lost)."""
+
+
+_lock = threading.Lock()
+_schedule: FaultSchedule | None = None
+
+
+def install(schedule: FaultSchedule) -> None:
+    """Activate network fault injection process-wide."""
+    global _schedule
+    with _lock:
+        _schedule = schedule
+
+
+def uninstall() -> None:
+    global _schedule
+    with _lock:
+        _schedule = None
+
+
+def current() -> FaultSchedule | None:
+    return _schedule
+
+
+def is_active() -> bool:
+    return _schedule is not None
+
+
+@contextmanager
+def active(schedule: FaultSchedule) -> Iterator[FaultSchedule]:
+    """Install ``schedule`` for the duration of the block."""
+    install(schedule)
+    try:
+        yield schedule
+    finally:
+        uninstall()
+
+
+def apply(
+    worker: str,
+    method: str,
+    path: str,
+    send: Callable[[], tuple[int, Any]],
+) -> tuple[int, Any]:
+    """Run one HTTP exchange through the installed schedule.
+
+    ``send`` performs the real request and returns ``(status, payload)``.
+    With no schedule installed this is a plain passthrough.
+    """
+    schedule = _schedule
+    if schedule is None:
+        return send()
+    rule = schedule.decide("net", method, path)
+    if rule is None:
+        return send()
+    if rule.fault == "reset":
+        raise ChaosConnectionReset(
+            f"chaos: injected connection reset on {method} {worker}{path}"
+        )
+    if rule.fault == "timeout":
+        try:
+            send()  # the ambiguous case: side effects land, response lost
+        except Exception:
+            pass
+        raise ChaosTimeout(
+            f"chaos: injected timeout on {method} {worker}{path}"
+        )
+    if rule.fault == "http_500":
+        return 500, {"error": "chaos: injected server error"}
+    if rule.fault == "slow":
+        time.sleep(max(0.0, rule.seconds))
+        return send()
+    if rule.fault == "duplicate":
+        send()  # first delivery; its response is dropped on the floor
+        return send()
+    return send()

@@ -1,0 +1,185 @@
+"""The chaos scenario runner: execute, check, report, count.
+
+:func:`run_scenarios` drives any subset of the catalogue over any set of
+seeds, isolates each (scenario, seed) cell in its own fresh directory,
+and aggregates the evidence three ways:
+
+* a JSONL report (one line per cell: verdict, timing, the full fault
+  trace, every invariant result) — the artifact CI uploads;
+* ``chaos_*`` metrics through :mod:`repro.obs`
+  (``chaos_scenarios_total{result=}``,
+  ``chaos_faults_injected_total{seam=}``,
+  ``chaos_invariant_failures_total{invariant=}``) so a chaos sweep is
+  scrapeable like any other run;
+* the returned summary dict the CLI renders and exits on.
+
+A scenario that *raises* is as much a finding as a failed invariant:
+the exception is captured into the cell report (``error``) and the cell
+counts as failed, but the sweep continues — one broken scenario never
+hides the verdicts of the others.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+import traceback
+from typing import Any, Iterable
+
+from repro.chaos.scenarios import SCENARIOS, run_scenario
+from repro.obs import MetricRegistry
+
+__all__ = ["run_scenarios"]
+
+
+def _resolve_names(names: Iterable[str] | None) -> list[str]:
+    if not names:
+        return sorted(SCENARIOS)
+    out = []
+    for name in names:
+        if name == "all":
+            out.extend(sorted(SCENARIOS))
+        elif name in SCENARIOS:
+            out.append(name)
+        else:
+            raise ValueError(
+                f"unknown scenario {name!r}; catalogue: {sorted(SCENARIOS)}"
+            )
+    return out
+
+
+def run_scenarios(
+    names: Iterable[str] | None = None,
+    seeds: Iterable[int] = (0,),
+    report_path: str | None = None,
+    workdir: str | None = None,
+    registry: MetricRegistry | None = None,
+    echo: bool = False,
+) -> dict[str, Any]:
+    """Run (scenario × seed) cells; return the aggregated summary.
+
+    ``workdir`` keeps each cell's state under
+    ``<workdir>/<scenario>-s<seed>`` for post-mortems; without it a
+    temporary directory is used and removed afterwards.
+    """
+    names = _resolve_names(names)
+    seeds = list(seeds) or [0]
+    if registry is None:  # NB: an empty MetricRegistry is falsy
+        registry = MetricRegistry()
+
+    own_workdir = workdir is None
+    base = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    os.makedirs(base, exist_ok=True)
+
+    report_handle = None
+    if report_path:
+        parent = os.path.dirname(os.path.abspath(report_path))
+        os.makedirs(parent, exist_ok=True)
+        report_handle = open(report_path, "w", encoding="utf-8")
+
+    reports: list[dict[str, Any]] = []
+    seams_fired: dict[str, int] = {}
+    try:
+        for name in names:
+            for seed in seeds:
+                cell_dir = os.path.join(base, f"{name}-s{seed}")
+                started = time.monotonic()
+                injections: list[dict[str, Any]] = []
+                invariants: list[dict[str, Any]] = []
+                error = None
+                try:
+                    schedule, checks = run_scenario(name, seed, cell_dir)
+                    injections = schedule.trace()
+                    invariants = [c.as_dict() for c in checks]
+                    ok = all(c.ok for c in checks)
+                except Exception as exc:  # noqa: BLE001 — a finding
+                    ok = False
+                    error = (
+                        f"{type(exc).__name__}: {exc}\n"
+                        + traceback.format_exc(limit=8)
+                    )
+                elapsed = time.monotonic() - started
+
+                cell_seams: dict[str, int] = {}
+                for inj in injections:
+                    cell_seams[inj["seam"]] = (
+                        cell_seams.get(inj["seam"], 0) + 1
+                    )
+                for seam, n in cell_seams.items():
+                    seams_fired[seam] = seams_fired.get(seam, 0) + n
+                    registry.counter(
+                        "chaos_faults_injected_total",
+                        "faults injected by chaos schedules",
+                        labels={"seam": seam},
+                    ).inc(n)
+                registry.counter(
+                    "chaos_scenarios_total",
+                    "chaos scenario cells by verdict",
+                    labels={"result": "pass" if ok else "fail"},
+                ).inc()
+                for inv in invariants:
+                    if not inv["ok"]:
+                        registry.counter(
+                            "chaos_invariant_failures_total",
+                            "violated invariants across chaos scenarios",
+                            labels={"invariant": inv["invariant"]},
+                        ).inc()
+                registry.histogram(
+                    "chaos_scenario_seconds",
+                    "wall-clock per chaos scenario cell",
+                    labels={"scenario": name},
+                ).observe(elapsed)
+
+                cell = {
+                    "scenario": name,
+                    "seed": seed,
+                    "ok": ok,
+                    "elapsed": round(elapsed, 4),
+                    "seams_fired": cell_seams,
+                    "injections": injections,
+                    "invariants": invariants,
+                    "error": error,
+                }
+                reports.append(cell)
+                if report_handle is not None:
+                    report_handle.write(
+                        json.dumps(cell, separators=(",", ":")) + "\n"
+                    )
+                    report_handle.flush()
+                if echo:
+                    verdict = "PASS" if ok else "FAIL"
+                    fired = sum(cell_seams.values())
+                    print(
+                        f"chaos: {name} seed={seed} {verdict} "
+                        f"({fired} faults, {elapsed:.2f}s)",
+                        flush=True,
+                    )
+                    if error:
+                        print(error, flush=True)
+                    for inv in invariants:
+                        if not inv["ok"]:
+                            print(
+                                f"chaos:   FAILED {inv['invariant']}: "
+                                f"{inv['detail']}",
+                                flush=True,
+                            )
+    finally:
+        if report_handle is not None:
+            report_handle.close()
+        if own_workdir:
+            shutil.rmtree(base, ignore_errors=True)
+
+    return {
+        "ok": all(r["ok"] for r in reports),
+        "cells": len(reports),
+        "failed": [
+            {"scenario": r["scenario"], "seed": r["seed"]}
+            for r in reports
+            if not r["ok"]
+        ],
+        "seams_fired": seams_fired,
+        "reports": reports,
+    }

@@ -1,0 +1,311 @@
+"""Seeded, deterministic fault schedules across three failure seams.
+
+:class:`FaultSchedule` generalises :class:`repro.runtime.faults.FaultPlan`
+from "crash this worker task" to a unified schedule over every seam the
+system can fail at:
+
+* **disk** — torn writes, ENOSPC, silent bit flips, lost fsyncs, failed
+  renames, injected through the filesystem shim in :mod:`repro.chaos.fs`
+  (threaded through the checkpoint writer, the serve/cluster journals,
+  the result spools, and the artifact store);
+* **net** — connection resets, timeouts, slow responses, injected 500s,
+  duplicate delivery, injected through the client hook in
+  :mod:`repro.chaos.net` (used by the cluster coordinator's HTTP client);
+* **process** — the existing crash/hang/slow worker-task modes, carried
+  as :class:`FaultPlan` parameters and lifted into the same schedule so
+  one seed describes a whole cross-layer failure story.
+
+Determinism is the whole point: every decision is a pure function of
+``(seed, rule identity, occurrence index)`` via the same ``blake2b``
+construction :class:`FaultPlan` uses, so the same schedule replayed over
+the same operation sequence produces the identical fault trace — chaos
+runs are reproducible, shrinkable, and diffable.  Every fired fault is
+appended to :attr:`FaultSchedule.injections`, which doubles as the
+evidence that a scenario actually exercised its seams
+(``chaos_faults_injected_total``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.runtime.faults import FaultPlan
+
+__all__ = ["FaultRule", "FaultSchedule", "SEAMS"]
+
+SEAMS = ("disk", "net", "process")
+
+#: Faults each seam understands (validation catches typo'd scenarios).
+DISK_FAULTS = frozenset(
+    {"torn_write", "enospc", "bitflip", "lost_fsync", "replace_error"}
+)
+NET_FAULTS = frozenset(
+    {"reset", "timeout", "slow", "http_500", "duplicate"}
+)
+
+#: Path segments that look like generated identifiers (job ids, hex
+#: hashes) are collapsed when normalising network targets, so occurrence
+#: counting is stable across runs that mint different random ids.
+_ID_SEGMENT = re.compile(r"^(j-|c-|s\d|[0-9a-f]{8,})")
+
+
+def _hash_unit(seed: int, salt: str) -> float:
+    """Deterministic hash of (seed, salt) into [0, 1)."""
+    digest = hashlib.blake2b(
+        f"{seed}:{salt}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+def normalize_disk_target(path: str) -> str:
+    """Stable identity of a disk target across runs (basename).
+
+    Scenario state lives in fresh temp directories, so the absolute path
+    changes run to run while the interesting identity (``journal.jsonl``,
+    ``checkpoint.jsonl``, an artifact entry name) does not.
+    """
+    return os.path.basename(os.fspath(path)) or "-"
+
+
+def normalize_net_target(path: str) -> str:
+    """Stable identity of an HTTP target: id-ish segments collapse to *."""
+    parts = path.split("?")[0].split("/")
+    out = [
+        "*" if _ID_SEGMENT.match(seg) else seg
+        for seg in parts
+    ]
+    return "/".join(out) or "/"
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault source inside a schedule.
+
+    A rule fires on an operation when the target matches ``match`` (a
+    substring of the raw target — a file path or an HTTP path), the
+    operation matches ``op`` (None = any), the per-target occurrence
+    index has passed ``after``, fewer than ``max_fires`` firings have
+    happened, and the seeded hash draw lands under ``rate``.
+    """
+
+    seam: str
+    fault: str
+    rate: float = 1.0
+    #: substring of the raw target (full path / HTTP path); "" = any
+    match: str = ""
+    #: operation filter: disk = write|replace|fsync, net = HTTP method
+    op: str | None = None
+    #: skip the first ``after`` matching occurrences (lets a scenario
+    #: aim at "the 3rd journal append" instead of the file's creation)
+    after: int = 0
+    #: cap on firings; None = unbounded
+    max_fires: int | None = None
+    #: sleep used by the net ``slow`` fault
+    seconds: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.seam not in ("disk", "net"):
+            raise ValueError(
+                f"rule seam must be 'disk' or 'net' (process faults are "
+                f"carried by the schedule's FaultPlan), got {self.seam!r}"
+            )
+        allowed = DISK_FAULTS if self.seam == "disk" else NET_FAULTS
+        if self.fault not in allowed:
+            raise ValueError(
+                f"unknown {self.seam} fault {self.fault!r}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise ValueError("fault rule must be a JSON object")
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown fault rule fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def _ident(self) -> str:
+        """Stable identity used in hash draws (not the runtime state)."""
+        return (
+            f"{self.seam}:{self.fault}:{self.match}:{self.op}:"
+            f"{self.after}:{self.rate}"
+        )
+
+
+class FaultSchedule:
+    """A seed plus rules plus process-fault parameters; thread-safe.
+
+    The schedule is the single source of truth for one chaos run: the
+    disk/net shims consult :meth:`decide` on every intercepted operation,
+    the process seam converts to a :class:`FaultPlan` via
+    :meth:`to_fault_plan`, and everything that fires lands in
+    :attr:`injections` — the reproducible fault trace.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rules: tuple[FaultRule, ...] | list[FaultRule] = (),
+        process: dict[str, Any] | None = None,
+    ):
+        self.seed = int(seed)
+        self.rules = tuple(rules)
+        #: :class:`FaultPlan` keyword arguments (``crash_rate`` …);
+        #: validated eagerly so a typo'd scenario fails at build time
+        self.process = dict(process or {})
+        if self.process:
+            FaultPlan(seed=self.seed, **self.process)
+        self._lock = threading.Lock()
+        #: per-(seam, op, normalized-target) operation counters
+        self._occurrences: dict[tuple[str, str, str], int] = {}
+        #: per-rule fire counters (max_fires enforcement)
+        self._fires: dict[int, int] = {}
+        #: the fault trace: one dict per fired fault, in firing order
+        self.injections: list[dict[str, Any]] = []
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide(self, seam: str, op: str, target: str) -> FaultRule | None:
+        """Return the rule firing on this operation, or None.
+
+        Advances the occurrence counter for ``(seam, op, target)`` either
+        way, so "the Nth append to the journal" means the same thing
+        whether or not earlier rules fired.
+        """
+        normalize = (
+            normalize_disk_target if seam == "disk" else normalize_net_target
+        )
+        key = normalize(target)
+        with self._lock:
+            counter_key = (seam, op, key)
+            occ = self._occurrences.get(counter_key, 0)
+            self._occurrences[counter_key] = occ + 1
+            for idx, rule in enumerate(self.rules):
+                if rule.seam != seam:
+                    continue
+                if rule.op is not None and rule.op != op:
+                    continue
+                if rule.match and rule.match not in target:
+                    continue
+                if occ < rule.after:
+                    continue
+                fired = self._fires.get(idx, 0)
+                if rule.max_fires is not None and fired >= rule.max_fires:
+                    continue
+                if rule.rate < 1.0 and _hash_unit(
+                    self.seed, f"{rule._ident()}:{key}:{occ}"
+                ) >= rule.rate:
+                    continue
+                self._fires[idx] = fired + 1
+                self._record_locked(seam, rule.fault, op, key, occ)
+                return rule
+        return None
+
+    def _record_locked(self, seam: str, fault: str, op: str,
+                       target: str, occurrence: int) -> None:
+        self.injections.append({
+            "seam": seam, "fault": fault, "op": op,
+            "target": target, "occurrence": occurrence,
+        })
+
+    def record(self, seam: str, fault: str, op: str, target: str,
+               occurrence: int = 0) -> None:
+        """Log a fault injected outside :meth:`decide` (process seam)."""
+        with self._lock:
+            self._record_locked(seam, fault, op, target, occurrence)
+
+    # -- reporting ---------------------------------------------------------
+
+    def fired_by_seam(self) -> dict[str, int]:
+        """``{seam: firings}`` over everything injected so far."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for inj in self.injections:
+                out[inj["seam"]] = out.get(inj["seam"], 0) + 1
+        return out
+
+    def trace(self) -> list[dict[str, Any]]:
+        """A snapshot copy of the fault trace."""
+        with self._lock:
+            return [dict(inj) for inj in self.injections]
+
+    # -- process seam ------------------------------------------------------
+
+    def to_fault_plan(self, recording: bool = True):
+        """The process seam as a (recording) :class:`FaultPlan`.
+
+        With ``recording=True`` the returned object logs every fired
+        fault into this schedule's trace.  Recording plans are only
+        valid for inline (``workers=1``) parallel execution — they hold
+        a lock and cannot cross a process-pool pickle boundary; pass
+        ``recording=False`` to ship a plain plan to pooled workers.
+        """
+        plan = FaultPlan(seed=self.seed, **self.process)
+        if not recording:
+            return plan
+        return _RecordingFaultPlan(plan, self)
+
+    # -- serialisation -----------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rules": [r.as_dict() for r in self.rules],
+            "process": dict(self.process),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "FaultSchedule":
+        if not isinstance(payload, dict):
+            raise ValueError("fault schedule must be a JSON object")
+        unknown = set(payload) - {"seed", "rules", "process"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault schedule fields: {sorted(unknown)}"
+            )
+        return cls(
+            seed=payload.get("seed", 0),
+            rules=tuple(
+                FaultRule.from_dict(r) for r in payload.get("rules", ())
+            ),
+            process=payload.get("process"),
+        )
+
+
+@dataclass
+class _RecordingFaultPlan:
+    """Duck-typed :class:`FaultPlan` that logs firings into a schedule.
+
+    The parallel driver only calls ``decide``/``apply``; recording the
+    decision before delegating keeps the process seam's evidence in the
+    same trace as the disk/net seams.
+    """
+
+    plan: FaultPlan
+    schedule: FaultSchedule = field(repr=False)
+
+    def decide(self, task: tuple[int, int, int], attempt: int) -> str | None:
+        return self.plan.decide(task, attempt)
+
+    def apply(self, task: tuple[int, int, int], attempt: int,
+              inline: bool = False) -> None:
+        kind = self.plan.decide(task, attempt)
+        if kind is not None:
+            self.schedule.record(
+                "process", kind, "task",
+                f"{task[0]}:{task[1]}:{task[2]}", occurrence=attempt,
+            )
+        self.plan.apply(task, attempt, inline=inline)

@@ -860,6 +860,56 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown cache action {action!r}")
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded chaos scenarios with invariant checking (docs/chaos.md)."""
+    from repro.chaos.scenarios import SCENARIOS
+
+    if args.chaos_command == "list":
+        rows = [
+            [name, ",".join(sorted(d.seams)),
+             "yes" if d.deterministic else "no", d.description]
+            for name, d in sorted(SCENARIOS.items())
+        ]
+        print(format_table(
+            ["scenario", "seams", "deterministic", "description"], rows
+        ))
+        return 0
+
+    from repro.chaos.runner import run_scenarios
+    from repro.obs import MetricRegistry
+    from repro.obs.sinks import prometheus_text
+
+    registry = MetricRegistry()
+    try:
+        summary = run_scenarios(
+            names=args.scenario or None,
+            seeds=tuple(args.seed) if args.seed else (0, 1, 2),
+            report_path=args.report,
+            workdir=args.workdir,
+            registry=registry,
+            echo=True,
+        )
+    except ValueError as exc:  # unknown scenario name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(registry))
+    fired = ", ".join(
+        f"{seam}={n}" for seam, n in sorted(summary["seams_fired"].items())
+    ) or "none"
+    print(
+        f"chaos: {summary['cells'] - len(summary['failed'])}"
+        f"/{summary['cells']} cells passed (faults fired: {fired})"
+    )
+    for cell in summary["failed"]:
+        print(
+            f"chaos: FAILED {cell['scenario']} seed={cell['seed']}",
+            file=sys.stderr,
+        )
+    return 0 if summary["ok"] else 1
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     rows = []
     for key in datasets.names():
@@ -1215,6 +1265,39 @@ def build_parser() -> argparse.ArgumentParser:
                       help="one-off size budget in MiB for this gc pass")
     cache_sub.add_parser("clear", help="remove every entry")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection scenarios with invariant checks "
+             "(docs/chaos.md)",
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_sub.add_parser("list", help="print the scenario catalogue")
+    p_chaos_run = chaos_sub.add_parser(
+        "run", help="run scenarios over seeds; exit 1 on any violation"
+    )
+    p_chaos_run.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="scenario to run (repeatable; 'all' or omit for the whole "
+             "catalogue)",
+    )
+    p_chaos_run.add_argument(
+        "--seed", action="append", type=int, default=None,
+        help="schedule seed (repeatable; default: 0 1 2)",
+    )
+    p_chaos_run.add_argument(
+        "--report", default=None,
+        help="write a JSONL report (one line per scenario/seed cell)",
+    )
+    p_chaos_run.add_argument(
+        "--metrics-out", default=None,
+        help="write chaos_* metrics as Prometheus text to this file",
+    )
+    p_chaos_run.add_argument(
+        "--workdir", default=None,
+        help="keep per-cell state under this directory for post-mortems",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_ds = sub.add_parser("datasets", help="list the dataset zoo")
     p_ds.set_defaults(func=_cmd_datasets)

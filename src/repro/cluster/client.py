@@ -17,6 +17,8 @@ import urllib.error
 import urllib.request
 from typing import Any
 
+from repro.chaos import net as chaos_net
+
 __all__ = ["WorkerClient", "WorkerUnreachable"]
 
 
@@ -42,28 +44,46 @@ class WorkerClient:
         self, method: str, path: str, body: dict | None = None
     ) -> tuple[int, dict[str, Any]]:
         data = json.dumps(body).encode() if body is not None else None
-        req = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, json.loads(resp.read() or b"{}")
-        except urllib.error.HTTPError as exc:
+
+        def _send() -> tuple[int, dict[str, Any]]:
+            req = urllib.request.Request(
+                self.base_url + path, data=data, method=method,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
             try:
-                payload = json.loads(exc.read() or b"{}")
-            except json.JSONDecodeError:
-                payload = {"error": "unparseable error body"}
-            return exc.code, payload
-        except urllib.error.URLError as exc:
-            refused = isinstance(exc.reason, ConnectionRefusedError)
+                with urllib.request.urlopen(
+                    req, timeout=self.timeout
+                ) as resp:
+                    return resp.status, json.loads(resp.read() or b"{}")
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read() or b"{}")
+                except json.JSONDecodeError:
+                    payload = {"error": "unparseable error body"}
+                return exc.code, payload
+            except urllib.error.URLError as exc:
+                refused = isinstance(exc.reason, ConnectionRefusedError)
+                raise WorkerUnreachable(
+                    self.base_url, repr(exc.reason), refused=refused
+                ) from exc
+            except (TimeoutError, socket.timeout, ConnectionError) as exc:
+                refused = isinstance(exc, ConnectionRefusedError)
+                raise WorkerUnreachable(
+                    self.base_url, repr(exc), refused=refused
+                ) from exc
+
+        if not chaos_net.is_active():
+            return _send()
+        # fault-injection seam: injected resets/timeouts surface exactly
+        # like their transport-level counterparts would
+        try:
+            return chaos_net.apply(self.base_url, method, path, _send)
+        except WorkerUnreachable:
+            raise
+        except (TimeoutError, ConnectionError) as exc:
             raise WorkerUnreachable(
-                self.base_url, repr(exc.reason), refused=refused
-            ) from exc
-        except (TimeoutError, socket.timeout, ConnectionError) as exc:
-            refused = isinstance(exc, ConnectionRefusedError)
-            raise WorkerUnreachable(
-                self.base_url, repr(exc), refused=refused
+                self.base_url, repr(exc),
+                refused=isinstance(exc, ConnectionRefusedError),
             ) from exc
 
     # -- convenience wrappers ---------------------------------------------

@@ -352,6 +352,14 @@ class ClusterCoordinator:
             elif event in ("lost", "failed"):
                 if state.status == "inflight":
                     state.status = "pending"
+            elif event == "slice_exhausted":
+                # the budget verdict is durable: a restart must not hand
+                # the slice a fresh set of lives
+                state.status = "failed"
+                state.why = (
+                    f"retry budget exhausted after "
+                    f"{ev.get('attempts')} attempts: {ev.get('why')}"
+                )
             elif event == "discarded":
                 if state.status not in ("completed",):
                     state.status = "discarded"
@@ -437,8 +445,25 @@ class ClusterCoordinator:
         ).inc(len(bicliques))
         if not journaled:
             spool = self._spool_path(spec.slice_id)
-            with BicliqueWriter(spool) as writer:
-                writer.write_all(bicliques)
+            try:
+                with BicliqueWriter(spool) as writer:
+                    writer.write_all(bicliques)
+            except OSError as exc:
+                # the merge (RAM) already holds the result, so this run
+                # stays correct; but a partial spool must not back a
+                # ``completed`` journal record — drop both, and a
+                # restarted coordinator simply re-runs the slice
+                self._discard_spool(spool)
+                self.registry.counter(
+                    "cluster_spool_write_errors_total",
+                    "slice result spools that failed to persist",
+                ).inc()
+                print(
+                    f"cluster: could not persist spool for slice "
+                    f"{spec.slice_id} ({exc}); result held in RAM only",
+                    flush=True,
+                )
+                return True
             self.journal.record_slice(
                 "completed", spec.slice_id,
                 lo=spec.lo, hi=spec.hi, count=len(bicliques),
@@ -446,6 +471,13 @@ class ClusterCoordinator:
                 elapsed=round(elapsed or 0.0, 6),
             )
         return True
+
+    @staticmethod
+    def _discard_spool(spool: str) -> None:
+        try:
+            os.remove(spool)
+        except OSError:
+            pass
 
     # -- worker liveness ---------------------------------------------------
 
@@ -463,6 +495,11 @@ class ClusterCoordinator:
             state = self._slices.get(slice_id)
             if state is None or state.status != "inflight":
                 continue
+            if state.attempts > self.config.max_slice_retries:
+                # a flapping worker must not grant a slice infinite
+                # lives: losses spend the same budget as failures
+                self._exhaust_slice(state, f"worker lost: {why}")
+                continue
             state.status = "pending"
             state.why = f"worker lost: {why}"
             state.not_before = self._backoff_gate(state.attempts)
@@ -471,6 +508,34 @@ class ClusterCoordinator:
                 "lost", slice_id, worker=worker.url, why=why
             )
         worker.inflight.clear()
+
+    def _exhaust_slice(self, state: _SliceState, why: str) -> None:
+        """Retire a slice that has spent its per-slice retry budget.
+
+        Journaled as a structured ``slice_exhausted`` record (attempt
+        count included) so a restarted coordinator — and anyone reading
+        the journal — sees *why* the range is missing instead of
+        watching it retry forever against a flapping worker.
+        """
+        state.status = "failed"
+        state.why = (
+            f"retry budget exhausted after {state.attempts} attempts: {why}"
+        )
+        self._slice_event("exhausted")
+        self.registry.counter(
+            "cluster_slices_exhausted_total",
+            "slices retired after spending their retry budget",
+        ).inc()
+        self.journal.record_slice(
+            "slice_exhausted", state.spec.slice_id,
+            attempts=state.attempts, why=why,
+        )
+        print(
+            f"cluster: slice {state.spec.slice_id} "
+            f"[{state.spec.lo},{state.spec.hi}) exhausted its retry "
+            f"budget ({state.attempts} attempts): {why}",
+            flush=True,
+        )
 
     def _heartbeat(self, now: float) -> None:
         for worker in self._workers.values():
@@ -603,7 +668,7 @@ class ClusterCoordinator:
         )
         self._slice_event("failed")
         if state.attempts > self.config.max_slice_retries:
-            state.status = "failed"
+            self._exhaust_slice(state, why)
             return
         # the executor's on-retry re-split, federated: a slice that
         # failed twice (budget, crashes) is halved before trying again
@@ -661,6 +726,9 @@ class ClusterCoordinator:
             if status == 404:
                 # worker lost its state (wiped state dir): redo the slice
                 worker.inflight.discard(state.spec.slice_id)
+                if state.attempts > self.config.max_slice_retries:
+                    self._exhaust_slice(state, "job vanished on worker")
+                    continue
                 state.status = "pending"
                 state.not_before = self._backoff_gate(state.attempts)
                 self._slice_event("lost")

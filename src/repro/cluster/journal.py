@@ -28,6 +28,8 @@ import threading
 import time
 from typing import IO, Any
 
+from repro.chaos import fs as chaos_fs
+
 __all__ = ["ClusterJournal", "ClusterJournalError", "load_cluster_journal"]
 
 
@@ -110,15 +112,38 @@ class ClusterJournal:
         )
         _repair_tail(self.path)
         self._lock = threading.Lock()
-        self._handle: IO[str] | None = open(self.path, "a", encoding="utf-8")
+        self._handle: IO[str] | None = chaos_fs.open(
+            self.path, "a", encoding="utf-8"
+        )
+        #: appends lost to OSError (disk full, I/O error).  The journal
+        #: is an optimisation for *restart* — live correctness never
+        #: depends on it (replay re-runs any slice whose records are
+        #: missing or whose spool fails its count check), so a failed
+        #: append is repaired, counted, and swallowed rather than
+        #: allowed to kill a healthy run.
+        self.write_errors = 0
 
     def _append(self, record: dict[str, Any]) -> None:
         with self._lock:
             assert self._handle is not None, "journal is closed"
-            self._handle.write(
-                json.dumps(record, separators=(",", ":")) + "\n"
-            )
-            self._handle.flush()
+            pos = self._handle.tell()
+            try:
+                self._handle.write(
+                    json.dumps(record, separators=(",", ":")) + "\n"
+                )
+                self._handle.flush()
+            except OSError:
+                # truncate the torn half-record so later appends stay
+                # parseable (the loader only forgives a torn FINAL line)
+                self.write_errors += 1
+                try:
+                    self._handle.flush()
+                except OSError:
+                    pass
+                try:
+                    self._handle.truncate(pos)
+                except OSError:  # pragma: no cover - disk beyond repair
+                    pass
 
     def record_plan(
         self,

@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 from typing import IO, Iterable
 
+from repro.chaos import fs as chaos_fs
 from repro.core.base import Biclique
 
 
@@ -29,7 +30,9 @@ class BicliqueWriter:
 
     def __init__(self, path: str | os.PathLike[str]):
         self.path = os.fspath(path)
-        self._handle: IO[str] | None = open(self.path, "w", encoding="utf-8")
+        self._handle: IO[str] | None = chaos_fs.open(
+            self.path, "w", encoding="utf-8"
+        )
         self.count = 0
         self.bytes_written = 0
 
@@ -38,8 +41,23 @@ class BicliqueWriter:
         line = (
             ",".join(map(str, b.left)) + "\t" + ",".join(map(str, b.right)) + "\n"
         )
-        self._handle.write(line)
-        self._handle.flush()
+        pos = self._handle.tell()
+        try:
+            self._handle.write(line)
+            self._handle.flush()
+        except OSError:
+            # roll the torn half-line back before re-raising, so a
+            # caller that survives the error (or a replay that count-
+            # checks this spool) reads only whole records
+            try:
+                self._handle.flush()
+            except OSError:
+                pass
+            try:
+                self._handle.truncate(pos)
+            except OSError:  # pragma: no cover - disk beyond repair
+                pass
+            raise
         self.count += 1
         self.bytes_written += len(line)
 

@@ -37,6 +37,8 @@ import os
 from dataclasses import dataclass, field
 from typing import IO, Any
 
+from repro.chaos import fs as chaos_fs
+
 __all__ = [
     "Checkpoint",
     "CheckpointError",
@@ -184,13 +186,18 @@ class CheckpointWriter:
     ):
         self.path = os.fspath(path)
         tmp = self.path + ".tmp"
-        self._handle: IO[str] | None = open(tmp, "w", encoding="utf-8")
+        self._handle: IO[str] | None = chaos_fs.open(
+            tmp, "w", encoding="utf-8"
+        )
+        # header/resume failures raise: without them the file is useless
         self._write(dict(fingerprint, type="header", version=FORMAT_VERSION))
         for rec in resume_records or ():
             self._write(rec)
         self._handle.close()
-        os.replace(tmp, self.path)
-        self._handle = open(self.path, "a", encoding="utf-8")
+        chaos_fs.replace(tmp, self.path)
+        self._handle = chaos_fs.open(self.path, "a", encoding="utf-8")
+        #: task records lost to OSError (disk full, I/O error)
+        self.write_errors = 0
 
     def _write(self, obj: dict[str, Any]) -> None:
         assert self._handle is not None
@@ -204,21 +211,42 @@ class CheckpointWriter:
         stats: dict[str, int],
         bicliques: list | None,
     ) -> None:
-        """Persist one completed task's outcome."""
-        self._write(
-            {
-                "type": "task",
-                "key": task_key(task),
-                "task": list(task),
-                "count": count,
-                "stats": {k: v for k, v in stats.items() if v},
-                "bicliques": (
-                    [[list(b.left), list(b.right)] for b in bicliques]
-                    if bicliques is not None
-                    else None
-                ),
-            }
-        )
+        """Persist one completed task's outcome.
+
+        The checkpoint accelerates *resume*; the run in progress never
+        depends on it.  A record that fails with ``OSError`` is rolled
+        back (truncated so the file stays loadable — the loader only
+        forgives a torn FINAL line) and counted in ``write_errors``, and
+        the run continues: losing a record merely means a future resume
+        redoes that task.
+        """
+        assert self._handle is not None
+        pos = self._handle.tell()
+        try:
+            self._write(
+                {
+                    "type": "task",
+                    "key": task_key(task),
+                    "task": list(task),
+                    "count": count,
+                    "stats": {k: v for k, v in stats.items() if v},
+                    "bicliques": (
+                        [[list(b.left), list(b.right)] for b in bicliques]
+                        if bicliques is not None
+                        else None
+                    ),
+                }
+            )
+        except OSError:
+            self.write_errors += 1
+            try:
+                self._handle.flush()
+            except OSError:
+                pass
+            try:
+                self._handle.truncate(pos)
+            except OSError:  # pragma: no cover - disk beyond repair
+                pass
 
     def close(self) -> None:
         if self._handle is not None:

@@ -32,6 +32,7 @@ import threading
 import time
 from typing import IO, Any
 
+from repro.chaos import fs as chaos_fs
 from repro.serve.jobs import Job, JobSpec
 
 __all__ = ["JobJournal", "JournalError", "load_journal"]
@@ -159,10 +160,14 @@ class JobJournal:
         self.recovered = load_journal(self.path)
         _repair_tail(self.path)
         self._lock = threading.Lock()
-        self._handle: IO[str] | None = open(
+        self._handle: IO[str] | None = chaos_fs.open(
             self.path, "a", encoding="utf-8"
         )
         self.compactions = 0
+        #: appends that failed with OSError (disk full, I/O error)
+        self.write_errors = 0
+        #: compaction passes abandoned on OSError (old file kept)
+        self.compact_failures = 0
         if self._due_for_compaction():
             self.compact()
 
@@ -189,14 +194,38 @@ class JobJournal:
     def _append(self, record: dict[str, Any]) -> None:
         with self._lock:
             assert self._handle is not None, "journal is closed"
-            self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-            self._handle.flush()
+            pos = self._handle.tell()
+            try:
+                self._handle.write(
+                    json.dumps(record, separators=(",", ":")) + "\n"
+                )
+                self._handle.flush()
+            except OSError:
+                # a torn half-record would poison every later append
+                # (loaders only forgive a torn FINAL line) — truncate
+                # back to the last good record before surfacing the
+                # failure so the journal stays appendable
+                self.write_errors += 1
+                self._truncate_to(pos)
+                raise
             due = (
                 self.compact_max_bytes is not None
                 and self._handle.tell() > self.compact_max_bytes
             )
         if due:
             self.compact()
+
+    def _truncate_to(self, pos: int) -> None:
+        """Best-effort rollback of a failed append (lock already held)."""
+        assert self._handle is not None
+        try:
+            self._handle.flush()
+        except OSError:
+            pass
+        try:
+            self._handle.truncate(pos)
+        except OSError:  # pragma: no cover - disk beyond repair
+            pass
 
     def record_event(self, job: Job, event: str, **extra: Any) -> None:
         """Append one lifecycle event for ``job``."""
@@ -245,7 +274,9 @@ class JobJournal:
         when they are terminal *and* keyless: beyond ``max_terminal`` of
         them (newest kept), or older than ``compact_max_age`` seconds.
         The swap is atomic (temp file + ``os.replace``), so a crash at
-        any instant leaves a valid journal.
+        any instant leaves a valid journal.  A pass that fails with
+        ``OSError`` (disk full, I/O error) is abandoned and reported as
+        ``-1`` — the original file stays authoritative and appendable.
         """
         with self._lock:
             assert self._handle is not None, "journal is closed"
@@ -276,37 +307,63 @@ class JobJournal:
                     )
             tmp = self.path + ".compact.tmp"
             kept = 0
-            with open(tmp, "w", encoding="utf-8") as out:
-                for job_id, e in state.items():
-                    if job_id in drop or not isinstance(e.get("spec"), dict):
-                        continue  # expired, or a torn pre-crash submit
-                    kept += 1
-                    sub = {
-                        "type": "job", "event": "submitted",
-                        "job_id": job_id,
-                        "t": e.get("t0") or e.get("t"),
-                        "spec": e["spec"],
-                        "idempotency_key": e.get("idempotency_key"),
-                    }
-                    out.write(json.dumps(sub, separators=(",", ":")) + "\n")
-                    if e.get("event") != "submitted":
-                        last: dict[str, Any] = {
-                            "type": "job", "event": e["event"],
-                            "job_id": job_id, "t": e.get("t"),
+            try:
+                with chaos_fs.open(tmp, "w", encoding="utf-8") as out:
+                    for job_id, e in state.items():
+                        if job_id in drop or not isinstance(
+                            e.get("spec"), dict
+                        ):
+                            continue  # expired, or a torn pre-crash submit
+                        kept += 1
+                        sub = {
+                            "type": "job", "event": "submitted",
+                            "job_id": job_id,
+                            "t": e.get("t0") or e.get("t"),
+                            "spec": e["spec"],
+                            "idempotency_key": e.get("idempotency_key"),
                         }
-                        for key in ("summary", "error"):
-                            if key in e:
-                                last[key] = e[key]
                         out.write(
-                            json.dumps(last, separators=(",", ":")) + "\n"
+                            json.dumps(sub, separators=(",", ":")) + "\n"
                         )
-                out.flush()
-                os.fsync(out.fileno())
+                        if e.get("event") != "submitted":
+                            last: dict[str, Any] = {
+                                "type": "job", "event": e["event"],
+                                "job_id": job_id, "t": e.get("t"),
+                            }
+                            for key in ("summary", "error"):
+                                if key in e:
+                                    last[key] = e[key]
+                            out.write(
+                                json.dumps(last, separators=(",", ":"))
+                                + "\n"
+                            )
+                    out.flush()
+                    chaos_fs.fsync(out.fileno(), tmp)
+            except OSError:
+                # abandon the pass: the original file is still the truth
+                self.compact_failures += 1
+                self._discard_tmp(tmp)
+                return -1
             self._handle.close()
-            os.replace(tmp, self.path)
-            self._handle = open(self.path, "a", encoding="utf-8")
+            try:
+                chaos_fs.replace(tmp, self.path)
+            except OSError:
+                self.compact_failures += 1
+                self._discard_tmp(tmp)
+                self._handle = chaos_fs.open(
+                    self.path, "a", encoding="utf-8"
+                )
+                return -1
+            self._handle = chaos_fs.open(self.path, "a", encoding="utf-8")
             self.compactions += 1
             return kept
+
+    @staticmethod
+    def _discard_tmp(tmp: str) -> None:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
 
     def close(self) -> None:
         with self._lock:

@@ -248,8 +248,31 @@ class EnumerationService:
             self._jobs[job.job_id] = job
             self._cancel_events[job.job_id] = threading.Event()
             self.queue.put_recovered(job)
-            self.journal.record_event(job, "interrupted")
+            self._journal_safe(job, "interrupted")
             self._jobs_counter("recovered").inc()
+
+    def _journal_safe(self, job: Job, event: str, **fields: Any) -> None:
+        """Journal a post-admission state change, surviving a failing disk.
+
+        Admission-path writes raise (the client gets a 503 + Retry-After
+        and can resubmit); once a job is admitted the worker pool must
+        keep draining even with the journal gone — what is lost is only
+        restart fidelity for this one transition, which is exactly the
+        trade the durability contract allows.
+        """
+        try:
+            self.journal.record_event(job, event, **fields)
+        except OSError as exc:
+            self.registry.counter(
+                "serve_journal_write_failures_total",
+                "post-admission journal appends that failed",
+                labels={"event": event},
+            ).inc()
+            print(
+                f"serve: journal write failed for job {job.job_id} "
+                f"({event}): {exc}; continuing without durability",
+                flush=True,
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -289,7 +312,7 @@ class EnumerationService:
                 if j.state not in TERMINAL_STATES
             ]
         for job in pending:
-            self.journal.record_event(job, "interrupted")
+            self._journal_safe(job, "interrupted")
             job.state = "interrupted"
         self.journal.close()
 
@@ -341,11 +364,29 @@ class EnumerationService:
             self._cancel_events[job.job_id] = threading.Event()
             if spec.idempotency_key:
                 self._idempotency[spec.idempotency_key] = job.job_id
-        self.journal.record_event(job, "submitted")
+        try:
+            self.journal.record_event(job, "submitted")
+        except OSError as exc:
+            # the durability contract ("journaled before queued") cannot
+            # be met, so the admission is refused outright: 503 with a
+            # Retry-After beats a 500 whose job silently lacks a trail
+            self._rollback_admission(job)
+            self.registry.counter(
+                "serve_rejections_total", "refused submits",
+                labels={"reason": "journal_unavailable"},
+            ).inc()
+            raise AdmissionError(
+                status=503, reason="journal_unavailable",
+                detail=(
+                    f"cannot journal the admission ({exc}); "
+                    f"retry shortly"
+                ),
+                retry_after=self.config.default_retry_after,
+            ) from exc
         try:
             self.queue.put(job)
         except AdmissionError:
-            self.journal.record_event(job, "rejected")
+            self._journal_safe(job, "rejected")
             with self._lock:
                 self._jobs.pop(job.job_id, None)
                 self._cancel_events.pop(job.job_id, None)
@@ -358,6 +399,15 @@ class EnumerationService:
             raise
         self._jobs_counter("submitted").inc()
         return job, False
+
+    def _rollback_admission(self, job: Job) -> None:
+        """Forget a job whose admission could not be journaled."""
+        with self._lock:
+            self._jobs.pop(job.job_id, None)
+            self._cancel_events.pop(job.job_id, None)
+            self._results.pop(job.job_id, None)
+            if job.spec.idempotency_key:
+                self._idempotency.pop(job.spec.idempotency_key, None)
 
     def _graph_cache_key(self, spec: JobSpec) -> tuple | None:
         """Cache identity of one resolved graph (None = don't cache).
@@ -519,8 +569,23 @@ class EnumerationService:
                     Biclique.make(left, right)
                     for left, right in cached["bicliques"]
                 ]
-        self.journal.record_event(job, "submitted")
-        self.journal.record_event(job, "cache_hit", summary=job.summary)
+        try:
+            self.journal.record_event(job, "submitted")
+            self.journal.record_event(job, "cache_hit", summary=job.summary)
+        except OSError as exc:
+            self._rollback_admission(job)
+            self.registry.counter(
+                "serve_rejections_total", "refused submits",
+                labels={"reason": "journal_unavailable"},
+            ).inc()
+            raise AdmissionError(
+                status=503, reason="journal_unavailable",
+                detail=(
+                    f"cannot journal the admission ({exc}); "
+                    f"retry shortly"
+                ),
+                retry_after=self.config.default_retry_after,
+            ) from exc
         self._jobs_counter("submitted").inc()
         self._jobs_counter("cache_hit").inc()
         return job
@@ -595,7 +660,7 @@ class EnumerationService:
         if removed is not None:
             job.state = "cancelled"
             job.finished_at = time.time()
-            self.journal.record_event(job, "cancelled")
+            self._journal_safe(job, "cancelled")
             self._jobs_counter("cancelled").inc()
         elif event is not None:
             job.cancel_requested = True
@@ -735,7 +800,7 @@ class EnumerationService:
                 job.state = "failed"
                 job.error = f"internal error: {exc!r}"
                 job.finished_at = time.time()
-                self.journal.record_event(job, "failed", error=job.error)
+                self._journal_safe(job, "failed", error=job.error)
                 self._jobs_counter("failed").inc()
 
     def _threshold_capable(self, spec: JobSpec, engine: str) -> bool:
@@ -820,7 +885,7 @@ class EnumerationService:
         job.state = "running"
         job.started_at = time.time()
         job.attempts += 1
-        self.journal.record_event(job, "started", attempt=job.attempts)
+        self._journal_safe(job, "started", attempt=job.attempts)
         with self._lock:
             cancel_event = self._cancel_events.setdefault(
                 job.job_id, threading.Event()
@@ -933,7 +998,7 @@ class EnumerationService:
                 "fallbacks": fallbacks,
                 "no_fallback": job.spec.no_fallback,
             }
-            self.journal.record_event(
+            self._journal_safe(
                 job, "failed", error=job.error, summary=job.summary
             )
             self._jobs_counter("failed").inc()
@@ -971,16 +1036,14 @@ class EnumerationService:
                 job.cancel_requested:
             # drain-induced stop: resumable on restart, not terminal
             job.state = "interrupted"
-            self.journal.record_event(job, "interrupted")
+            self._journal_safe(job, "interrupted")
             return
         if collector is not None and collector.mode == "collect":
             with self._lock:
                 self._results[job.job_id] = collector.results
         if stopped == "cancelled":
             job.state = "cancelled"
-            self.journal.record_event(
-                job, "cancelled", summary=job.summary
-            )
+            self._journal_safe(job, "cancelled", summary=job.summary)
             self._jobs_counter("cancelled").inc()
         else:
             if (
@@ -1010,7 +1073,7 @@ class EnumerationService:
                     elapsed=result.elapsed, bicliques=bicliques,
                 )
             job.state = "done"
-            self.journal.record_event(job, "done", summary=job.summary)
+            self._journal_safe(job, "done", summary=job.summary)
             self._jobs_counter("done").inc()
 
 

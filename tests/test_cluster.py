@@ -666,6 +666,96 @@ class TestReplayBookkeeping:
 
 
 # --------------------------------------------------------------------------
+# per-slice retry budget
+
+
+class TestSliceRetryBudget:
+    URL = "http://127.0.0.1:9"
+
+    def _plan_only(self, tmp_path, source, workers, **cfg):
+        cfg.setdefault("n_slices", 2)
+        coord = ClusterCoordinator(ClusterConfig(
+            state_dir=str(tmp_path / "coord"), workers=workers, **cfg,
+        ))
+        coord._plan(coord._load_graph(source), source)
+        return coord
+
+    def _source(self, tmp_path):
+        gpath = tmp_path / "g.txt"
+        write_edge_list(_graph(), gpath)
+        return {"graph_path": str(gpath)}
+
+    def test_worker_loss_spends_the_budget_instead_of_retrying_forever(
+        self, tmp_path
+    ):
+        """A flapping worker used to grant its slices infinite lives:
+        `_mark_dead` reset them to pending with no attempt cap.  Now a
+        slice over budget is retired with a structured journal record."""
+        from repro.cluster.coordinator import _SliceState
+
+        source = self._source(tmp_path)
+        coord = self._plan_only(
+            tmp_path, source, [self.URL], max_slice_retries=2
+        )
+        fresh = SliceSpec(slice_id="s-fresh", lo=0, hi=2, n_roots=8,
+                          edges=EDGES)
+        spent = SliceSpec(slice_id="s-spent", lo=2, hi=4, n_roots=8,
+                          edges=EDGES)
+        coord._slices["s-fresh"] = _SliceState(
+            spec=fresh, status="inflight", attempts=1, worker=self.URL
+        )
+        coord._slices["s-spent"] = _SliceState(
+            spec=spent, status="inflight", attempts=3, worker=self.URL
+        )
+        worker = coord._workers[self.URL]
+        worker.inflight.update({"s-fresh", "s-spent"})
+
+        coord._mark_dead(worker, "flapping")
+        assert coord._slices["s-fresh"].status == "pending"
+        assert coord._slices["s-spent"].status == "failed"
+        assert "retry budget exhausted" in coord._slices["s-spent"].why
+        samples = parse_prometheus_text(coord.metrics_text())
+        assert samples["cluster_slices_exhausted_total"] == 1
+        coord.close()
+
+        _plan, events = load_cluster_journal(
+            os.path.join(str(tmp_path / "coord"), "journal.jsonl")
+        )
+        exhausted = [
+            e for e in events if e.get("event") == "slice_exhausted"
+        ]
+        assert [e["slice_id"] for e in exhausted] == ["s-spent"]
+        assert exhausted[0]["attempts"] == 3
+        assert "flapping" in exhausted[0]["why"]
+        assert [
+            e["slice_id"] for e in events if e.get("event") == "lost"
+        ] == ["s-fresh"]
+
+    def test_exhausted_verdict_survives_a_coordinator_restart(
+        self, tmp_path
+    ):
+        """Replay must not hand a retired slice a fresh set of lives."""
+        source = self._source(tmp_path)
+        coord = self._plan_only(tmp_path, source, [self.URL])
+        sid = sorted(coord._slices)[0]
+        coord.journal.record_slice(
+            "dispatched", sid, worker=self.URL, job_id="j-1", attempt=1
+        )
+        coord.journal.record_slice(
+            "slice_exhausted", sid, attempts=5,
+            why="worker lost: flapping",
+        )
+        coord.close()
+
+        coord2 = self._plan_only(tmp_path, source, [self.URL])
+        state = coord2._slices[sid]
+        assert state.status == "failed"
+        assert "retry budget exhausted" in (state.why or "")
+        assert sid not in coord2._workers[self.URL].inflight
+        coord2.close()
+
+
+# --------------------------------------------------------------------------
 # chaos: real worker processes, real kills
 
 

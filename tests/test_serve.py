@@ -22,6 +22,8 @@ import urllib.request
 import pytest
 
 from repro import BipartiteGraph, run_mbe
+from repro.chaos import FaultRule, FaultSchedule
+from repro.chaos import fs as chaos_fs
 from repro.bigraph.generators import planted_bicliques
 from repro.core.base import ALGORITHMS, MBEAlgorithm, register
 from repro.core.io_results import read_bicliques
@@ -585,6 +587,156 @@ class TestJournalCompaction:
             assert dedup and again.job_id == job.job_id
         finally:
             second.drain(timeout=2)
+
+    def test_compaction_racing_a_concurrent_writer_loses_nothing(
+        self, tmp_path
+    ):
+        """Appends and compaction passes interleave under real threads;
+        the journal must stay parseable end to end and every job written
+        before the final compact must survive with its last event."""
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        stop = threading.Event()
+        written: list[str] = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                job = Job(
+                    job_id=f"w-{i}",
+                    spec=JobSpec(edges=EDGES, idempotency_key=f"w{i}"),
+                )
+                journal.record_event(job, "submitted")
+                journal.record_event(job, "done", summary={"count": i})
+                written.append(job.job_id)
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            passes = 0
+            while passes < 25:
+                assert journal.compact() >= 0
+                passes += 1
+        finally:
+            stop.set()
+            thread.join()
+        journal.compact()
+        journal.close()
+        state = load_journal(path)  # raises on any torn mid-file record
+        assert set(written) <= set(state)
+        assert all(state[j]["event"] == "done" for j in written)
+        assert journal.write_errors == 0
+
+    def test_chaos_torn_tmp_write_abandons_the_pass(self, tmp_path):
+        """A mid-compaction I/O death (the shim tears every write to the
+        ``.compact.tmp`` sibling) must leave the original journal
+        byte-authoritative and still appendable."""
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        self._fill(journal, n_terminal=3, keyed=["alpha"],
+                   inflight=["j-run"])
+        before = load_journal(path)
+
+        torn = FaultSchedule(seed=1, rules=(
+            FaultRule("disk", "torn_write", match="compact.tmp",
+                      op="write"),
+        ))
+        with chaos_fs.active(torn):
+            assert journal.compact() == -1
+        assert journal.compact_failures == 1
+        assert not os.path.exists(str(path) + ".compact.tmp")
+        assert load_journal(path) == before
+        # still appendable, and a clean pass then succeeds
+        job = Job(job_id="after", spec=JobSpec(edges=EDGES))
+        journal.record_event(job, "submitted")
+        assert journal.compact() >= 1
+        journal.close()
+        state = load_journal(path)
+        assert state["after"]["event"] == "submitted"
+        assert state["k-alpha"]["event"] == "done"
+
+    def test_chaos_failed_swap_keeps_the_old_file(self, tmp_path):
+        """The atomic-rename step itself failing (EIO on ``os.replace``)
+        must be abandoned the same way: old file intact, handle reopened,
+        later appends land."""
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        self._fill(journal, n_terminal=2, keyed=["beta"])
+        before = load_journal(path)
+
+        swap = FaultSchedule(seed=2, rules=(
+            FaultRule("disk", "replace_error", match="journal.jsonl",
+                      op="replace"),
+        ))
+        with chaos_fs.active(swap):
+            assert journal.compact() == -1
+        assert journal.compact_failures == 1
+        assert load_journal(path) == before
+        job = Job(job_id="post-swap", spec=JobSpec(edges=EDGES))
+        journal.record_event(job, "submitted")
+        journal.close()
+        assert load_journal(path)["post-swap"]["event"] == "submitted"
+
+
+# --------------------------------------------------------------------------
+# journal failure degradation (chaos-driven)
+
+
+class TestJournalFailureDegradation:
+    def test_submit_under_journal_enospc_returns_503_with_retry_after(
+        self, tmp_path
+    ):
+        service = _make_service(tmp_path)
+        try:
+            enospc = FaultSchedule(seed=0, rules=(
+                FaultRule("disk", "enospc", match="journal.jsonl",
+                          op="write"),
+            ))
+            with chaos_fs.active(enospc):
+                with pytest.raises(AdmissionError) as excinfo:
+                    service.submit({"engine": "mbet", "edges": EDGES,
+                                    "idempotency_key": "gone"})
+            assert excinfo.value.status == 503
+            assert excinfo.value.reason == "journal_unavailable"
+            assert excinfo.value.retry_after is not None
+            # the admission was rolled back completely
+            assert service.list_jobs() == []
+            assert "gone" not in service._idempotency
+            # disk healed: the identical submit is admitted and finishes
+            job, dedup = service.submit({
+                "engine": "mbet", "edges": EDGES,
+                "idempotency_key": "gone",
+            })
+            assert not dedup
+            assert _wait_terminal(service, job.job_id) == "done"
+        finally:
+            service.drain(timeout=2)
+
+    def test_worker_pool_keeps_draining_when_the_journal_dies(
+        self, tmp_path
+    ):
+        """Post-admission journal failures must not take down workers:
+        an already-admitted job still runs to an exact answer, the lost
+        append is only a durability gap."""
+        service = _make_service(tmp_path, start=False)
+        job, _ = service.submit({"engine": "mbet", "edges": EDGES})
+        enospc = FaultSchedule(seed=0, rules=(
+            FaultRule("disk", "enospc", match="journal.jsonl",
+                      op="write"),
+        ))
+        try:
+            with chaos_fs.active(enospc):
+                service.start()
+                assert _wait_terminal(service, job.job_id) == "done"
+            assert service.journal.write_errors >= 1
+            got = {
+                (tuple(left), tuple(right))
+                for left, right in service.result(job.job_id)["bicliques"]
+            }
+            assert got == _expected_set()
+        finally:
+            service.drain(timeout=2)
 
 
 # --------------------------------------------------------------------------
